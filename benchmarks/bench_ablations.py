@@ -1,0 +1,124 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation removes one APRIL mechanism and measures the damage on
+the executable machine:
+
+* **hardware future detection** vs software checks (the Encore's loss);
+* **lazy vs eager** task creation at the finest grain (fib);
+* **multiple task frames** vs one (coarse-grain multithreading off);
+* **switch-spinning** vs block-immediately on unresolved touches;
+* **round-robin vs local placement** for eager futures.
+"""
+
+from repro.harness import reporting
+from repro.lang.run import run_mult
+from repro.machine.config import MachineConfig
+from repro import workloads
+
+FIB = workloads.get("fib")
+
+
+def test_ablate_tag_hardware(benchmark):
+    def run():
+        plain = run_mult(FIB.source(), mode="sequential", args=(10,))
+        checked = run_mult(FIB.source(), mode="sequential", args=(10,),
+                           software_checks=True)
+        return checked.cycles / plain.cycles
+
+    factor = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("software future detection costs %.2fx (paper: ~2x)" % factor)
+    benchmark.extra_info["software_check_factor"] = round(factor, 2)
+    assert 1.3 < factor < 2.5
+
+
+def test_ablate_lazy_task_creation(benchmark):
+    def run():
+        eager = run_mult(FIB.source(), mode="eager", args=(10,))
+        lazy = run_mult(FIB.source(), mode="lazy", args=(10,))
+        return eager.cycles / lazy.cycles
+
+    gain = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("lazy task creation is %.1fx cheaper than eager on fib" % gain)
+    benchmark.extra_info["lazy_gain"] = round(gain, 1)
+    assert gain > 4      # paper: 14.2 / 1.5 ~ 9.5x on fib
+
+
+def test_ablate_task_frames(benchmark):
+    """One hardware context forces an unload on every blocked touch."""
+    module = workloads.get("factor")
+    def run():
+        cycles = {}
+        for frames in (1, 4):
+            config = MachineConfig(num_processors=2, num_task_frames=frames)
+            result = run_mult(module.source(), mode="eager",
+                              args=module.args(), config=config)
+            cycles[frames] = result.cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("factor: 1 frame %d cycles, 4 frames %d cycles"
+          % (cycles[1], cycles[4]))
+    benchmark.extra_info["cycles_by_frames"] = {
+        str(k): v for k, v in cycles.items()}
+    assert cycles[4] <= cycles[1]
+
+
+def test_ablate_switch_spinning(benchmark):
+    """Blocking immediately (spin limit 0) pays two thread moves per
+    short wait; a bounded switch-spin is cheaper at fib's grain."""
+    def run():
+        cycles = {}
+        for limit in (0, 2):
+            config = MachineConfig(num_processors=4, touch_spin_limit=limit)
+            result = run_mult(FIB.source(), mode="eager", args=(9,),
+                              config=config)
+            cycles[limit] = result.cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("fib(9)/4cpu: block-now %d cycles, switch-spin %d cycles"
+          % (cycles[0], cycles[2]))
+    benchmark.extra_info["cycles_by_spin_limit"] = {
+        str(k): v for k, v in cycles.items()}
+    # Both complete; the relative order is workload dependent, but the
+    # bounded spin policy should never be catastrophically worse.
+    assert cycles[2] < cycles[0] * 1.5
+
+
+def test_ablate_delay_slot_filling(benchmark):
+    """The Section 2.1 RISC-pipeline point: postpass delay-slot filling
+    recovers single-thread cycles that the conservative assembler
+    spends on slot nops."""
+    def run():
+        plain = run_mult(FIB.source(), mode="sequential", args=(10,))
+        optimized = run_mult(FIB.source(), mode="sequential", args=(10,),
+                             optimize=True)
+        assert optimized.value == plain.value
+        return plain.cycles / optimized.cycles
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    print("delay-slot filling speeds sequential fib by %.2fx" % speedup)
+    benchmark.extra_info["slot_fill_speedup"] = round(speedup, 3)
+    assert speedup > 1.0
+
+
+def test_ablate_placement(benchmark):
+    """Round-robin spreads eager tasks; local placement serializes them
+    until idle processors steal."""
+    def run():
+        cycles = {}
+        for placement in ("round_robin", "local"):
+            config = MachineConfig(num_processors=4, placement=placement)
+            result = run_mult(FIB.source(), mode="eager", args=(9,),
+                              config=config)
+            cycles[placement] = result.cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    text = "placement: " + ", ".join(
+        "%s=%d" % (k, v) for k, v in sorted(cycles.items()))
+    print(text)
+    reporting.save_report("ablation_placement.txt", text)
+    benchmark.extra_info["cycles"] = dict(cycles)
+    assert set(cycles) == {"round_robin", "local"}

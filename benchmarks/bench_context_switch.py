@@ -1,0 +1,89 @@
+"""Section 6.1 microbenchmark: the context switch costs 11 cycles on
+the SPARC-based APRIL (5-cycle trap squash + 6-cycle handler), and 4
+cycles on custom silicon.
+
+The measurement runs a two-node program whose main thread touches an
+unresolved future and switch-spins until the remote child resolves it.
+"""
+
+from repro.isa.assembler import assemble
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.runtime import stubs
+
+#: main spawns a slow child, then touches its future: every touch of
+#: the unresolved future switch-spins.
+SOURCE = stubs.thread_start_stub() + """
+main:
+    mov gp, t0
+    set 2, t1
+    str t1, [t0+0]
+    set child, t1
+    str t1, [t0+4]
+    addr gp, 8, gp
+    or t0, 2, a0
+    trap %d              ; a0 = future
+    add a0, 0, a0        ; touch: switch-spins until resolved
+    ret
+child:
+    set 2000, t1
+cloop:
+    cmpr t1, 0
+    ble cdone
+    ba cloop
+    @subr t1, 1, t1
+cdone:
+    set 84, a0
+    ret
+""" % stubs.V_FUTURE
+
+
+def _measure(config):
+    machine = AlewifeMachine(assemble(SOURCE), config)
+    machine.run()
+    cpu = machine.cpus[0]
+    switches = cpu.stats.context_switches
+    # Each switch-spin = squash + handler body.
+    per_switch = (config.trap_squash_cycles
+                  + config.switch_handler_cycles)
+    return switches, per_switch, cpu.stats.switch
+
+
+def test_sparc_switch_is_11_cycles(benchmark):
+    config = MachineConfig(num_processors=2, touch_spin_limit=10 ** 6,
+                           placement="round_robin")
+    switches, per_switch, _ = benchmark.pedantic(
+        lambda: _measure(config), rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["switches"] = switches
+    benchmark.extra_info["cycles_per_switch"] = per_switch
+    print("SPARC APRIL: %d switch-spins at %d cycles each" % (
+        switches, per_switch))
+    assert per_switch == 11          # the paper's measured figure
+    assert switches > 10
+
+
+def test_custom_april_switch_is_4_cycles(benchmark):
+    config = MachineConfig(num_processors=2, touch_spin_limit=10 ** 6,
+                           custom_april_switch=True)
+    switches, per_switch, _ = benchmark.pedantic(
+        lambda: _measure(config), rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["cycles_per_switch"] = per_switch
+    print("custom APRIL: %d cycles per switch" % per_switch)
+    assert per_switch == 4           # Section 6.1's custom-silicon figure
+
+
+def test_switch_cost_scales_run_time(benchmark):
+    """Sanity: a dearer switch makes the same spin-heavy program slower."""
+    def run():
+        cheap = AlewifeMachine(assemble(SOURCE), MachineConfig(
+            num_processors=2, touch_spin_limit=10 ** 6,
+            custom_april_switch=True))
+        costly = AlewifeMachine(assemble(SOURCE), MachineConfig(
+            num_processors=2, touch_spin_limit=10 ** 6,
+            switch_handler_cycles=45))
+        return cheap.run().cycles, costly.run().cycles
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1,
+                                    warmup_rounds=0)
+    print("run cycles: 4-cycle switch %d vs 50-cycle switch %d" % (fast, slow))
+    assert slow > fast

@@ -1,0 +1,51 @@
+"""Regenerate **Figure 5** (and print **Table 4**): processor
+utilization vs. resident threads, decomposed into useful work, context
+switch overhead, cache effects, and network effects.
+
+Expected shape (paper Section 8): U(1) ~ 0.48 or a bit below with
+contention, close to 80% utilization with as few as three resident
+threads at a 10-cycle switch cost, a plateau capped near 0.80 by
+network bandwidth, and a gentle decline beyond from cache interference.
+"""
+
+from repro.harness import reporting
+from repro.harness.figure5 import headline_numbers, render_report, run_figure5
+from repro.model.params import ModelParams
+
+
+def test_figure5_model(benchmark):
+    points = benchmark.pedantic(run_figure5, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    text = render_report()
+    path = reporting.save_report("figure5.txt", text)
+    print(reporting.banner("Table 4 + Figure 5"))
+    print(text)
+    print("saved to", path)
+
+    numbers = headline_numbers()
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in numbers.items()})
+    # The paper's headline claims.
+    assert numbers["base_round_trip"] == 55
+    assert 0.75 <= numbers["U(3)"] <= 0.85
+    assert numbers["U_max"] < 0.85
+    assert points[-1].useful < max(p.useful for p in points)
+
+
+def test_figure5_four_cycle_switch(benchmark):
+    """Section 6.1's custom-APRIL switch: C=4 barely moves the curve
+    ("the relatively large ten-cycle context switch overhead does not
+    significantly impact performance")."""
+    def run():
+        ten = run_figure5(ModelParams(), max_threads=6)
+        four = run_figure5(ModelParams(context_switch=4), max_threads=6)
+        return ten, four
+
+    ten, four = benchmark.pedantic(run, rounds=1, iterations=1,
+                                   warmup_rounds=0)
+    gap = four[2].useful - ten[2].useful
+    benchmark.extra_info["U3_C10"] = round(ten[2].useful, 3)
+    benchmark.extra_info["U3_C4"] = round(four[2].useful, 3)
+    print("U(3): C=10 -> %.3f, C=4 -> %.3f (gap %.3f)" % (
+        ten[2].useful, four[2].useful, gap))
+    assert 0 <= gap < 0.05

@@ -1,0 +1,75 @@
+"""Section 6.2 microbenchmark: "Our future touch trap handler takes 23
+cycles to execute if the future is resolved" (plus the 5-cycle trap
+squash).
+
+Measures the cycle delta of a strict operation on a resolved future
+versus the same operation on a plain fixnum.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.tags import make_fixnum
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.runtime import stubs
+
+_TOUCH = stubs.thread_start_stub() + """
+main:
+    set cell, t0
+    or t0, 5, t1         ; future-tagged pointer to a resolved cell
+    add t1, 4, a0        ; strict op: takes the future-touch trap
+    ret
+.align 8
+cell:
+    .fixnum 10
+    .fixnum 1
+"""
+
+#: Identical instruction mix except the operand is a plain (untagged,
+#: even) word, so no trap fires; the cycle delta is the trap cost.
+_PLAIN = stubs.thread_start_stub() + """
+main:
+    set cell, t0
+    or t0, 4, t1         ; even low bits: no future trap
+    add t1, 4, a0
+    ret
+.align 8
+cell:
+    .fixnum 10
+    .fixnum 1
+"""
+
+
+def _cycles(source):
+    machine = AlewifeMachine(assemble(source), MachineConfig())
+    result = machine.run()
+    return result.cycles, result.value
+
+
+def test_resolved_touch_costs_23_plus_squash(benchmark):
+    def run():
+        touched, value_touched = _cycles(_TOUCH)
+        plain, value_plain = _cycles(_PLAIN)
+        return touched, plain, value_touched, value_plain
+
+    touched, plain, value_touched, _value_plain = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0)
+    config = MachineConfig()
+    delta = touched - plain
+    expected = config.trap_squash_cycles + config.future_touch_resolved_cycles
+    benchmark.extra_info["touch_delta_cycles"] = delta
+    print("resolved future touch: +%d cycles (squash %d + handler %d)" % (
+        delta, config.trap_squash_cycles,
+        config.future_touch_resolved_cycles))
+    assert value_touched == 11
+    assert delta == expected == 28
+
+
+def test_touch_trap_count(benchmark):
+    def run():
+        machine = AlewifeMachine(assemble(_TOUCH), MachineConfig())
+        machine.run()
+        return machine.runtime.futures.touches_resolved
+
+    touches = benchmark.pedantic(run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    assert touches == 1

@@ -1,0 +1,91 @@
+"""Validate the analytical model's two component terms against the
+executable machine, as the paper did: "The models for the cache and
+network terms have been validated through simulations.  Both these
+terms are shown to be the sum of two components: one component
+independent of the number of threads p and the other linearly related
+to p."
+
+We run the full coherent machine (caches + directory + mesh) and check
+the *shapes* the model assumes:
+
+1. the measured cache miss rate grows with the number of resident
+   contexts sharing a cache (the interference term);
+2. the measured network latency grows with offered load (the
+   contention term);
+3. multithreading raises utilization on the executable machine when
+   remote latencies are real — the mechanism Figure 5 quantifies.
+"""
+
+from repro.lang.compiler import compile_source
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.net.network import Network
+from repro.net.topology import KAryNCube
+from repro import workloads
+
+
+def _run_coherent(processors, frames, args, cache_bytes=1024):
+    module = workloads.get("speech")
+    compiled = compile_source(module.source(), mode="eager")
+    config = MachineConfig(
+        num_processors=processors, memory_mode="coherent",
+        num_task_frames=frames, cache_bytes=cache_bytes)
+    machine = AlewifeMachine(compiled.program, config)
+    result = machine.run(entry=compiled.entry_label(), args=args)
+    return machine, result
+
+
+def test_cache_interference_component(benchmark):
+    """More resident contexts -> higher per-cache miss rate."""
+    def run():
+        rates = {}
+        for frames in (1, 4):
+            machine, _ = _run_coherent(2, frames, args=(4, 8),
+                                       cache_bytes=512)
+            rates[frames] = machine.fabric.aggregate_miss_rate()
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("miss rate: 1 context %.4f, 4 contexts %.4f"
+          % (rates[1], rates[4]))
+    benchmark.extra_info["miss_rates"] = {
+        str(k): round(v, 4) for k, v in rates.items()}
+    assert rates[4] >= rates[1]
+
+
+def test_network_contention_component(benchmark):
+    """Offered load raises measured mesh latency (the T(p) term)."""
+    def run():
+        results = {}
+        for gap in (40, 2):          # inter-message injection gap
+            network = Network(KAryNCube(2, 4))
+            now = 0
+            for i in range(200):
+                network.send(i % 16, (i * 7 + 3) % 16, 5, now)
+                now += gap
+            results[gap] = network.stats.average_latency
+        return results
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    print("avg latency: light load %.1f, heavy load %.1f"
+          % (latency[40], latency[2]))
+    benchmark.extra_info["latencies"] = {
+        str(k): round(v, 2) for k, v in latency.items()}
+    assert latency[2] > latency[40]
+
+
+def test_multithreading_raises_utilization(benchmark):
+    """The executable-machine analogue of Figure 5's useful-work gain."""
+    def run():
+        utils = {}
+        for frames in (1, 4):
+            machine, result = _run_coherent(4, frames, args=(4, 8))
+            utils[frames] = result.stats.utilization
+        return utils
+
+    utils = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("utilization: 1 frame %.3f, 4 frames %.3f" % (utils[1], utils[4]))
+    benchmark.extra_info["utilization"] = {
+        str(k): round(v, 3) for k, v in utils.items()}
+    assert utils[4] >= utils[1]

@@ -1,0 +1,104 @@
+"""Section 8 scalability sweeps: the claims around Figure 5.
+
+* close to 80% utilization with 3 resident threads at a 55-cycle base
+  round trip and C=10;
+* the context-switch overhead barely matters (C in {4, 10, 16});
+* caches >= 64KB sustain four contexts; smaller caches "suffer more
+  interference and reduce the benefits of multithreading";
+* with 4 task frames the processor tolerates latencies of 150-300
+  cycles (Section 3: context switch every 50-100 cycles).
+"""
+
+from repro.harness import reporting
+from repro.model.cache_model import sustainable_threads
+from repro.model.params import ModelParams
+from repro.model.utilization import solve, utilization_curve
+
+
+def test_context_switch_sweep(benchmark):
+    def run():
+        rows = {}
+        for c in (4, 10, 16, 64):
+            rows[c] = utilization_curve(
+                ModelParams(context_switch=c), max_threads=6)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    lines = ["C (cycles)  " + " ".join("p=%d " % p for p in range(1, 7))]
+    for c, curve in sorted(rows.items()):
+        lines.append("%9d   " % c + " ".join("%.2f" % u for u in curve))
+    text = "\n".join(lines)
+    print(reporting.banner("U(p) vs context-switch cost"))
+    print(text)
+    reporting.save_report("scalability_cs_sweep.txt", text)
+    # The paper's C=10 sits close to the custom-silicon C=4; a C an
+    # order of magnitude larger visibly hurts.
+    assert rows[16][2] > rows[64][2]
+    assert abs(rows[4][2] - rows[10][2]) < 0.08
+    benchmark.extra_info["U3_by_C"] = {
+        str(c): round(curve[2], 3) for c, curve in rows.items()}
+
+
+def test_cache_size_sweep(benchmark):
+    def run():
+        rows = {}
+        for kb in (16, 32, 64, 128, 256):
+            params = ModelParams(cache_bytes=kb * 1024)
+            rows[kb] = (utilization_curve(params, max_threads=4)[-1],
+                        sustainable_threads(params))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    lines = ["cache KB   U(4)    sustainable threads"]
+    for kb, (u4, threads) in sorted(rows.items()):
+        lines.append("%7d   %.3f   %.1f" % (kb, u4, threads))
+    text = "\n".join(lines)
+    print(reporting.banner("U(4) vs cache size"))
+    print(text)
+    reporting.save_report("scalability_cache_sweep.txt", text)
+    # The Section 8 claim: >= 64KB comfortably sustains 4 contexts.
+    assert rows[64][1] >= 4
+    assert rows[16][1] < 4
+    assert rows[256][0] > rows[16][0]
+
+
+def test_latency_tolerance(benchmark):
+    """Section 3: with 4 task frames and a switch every 50-100 cycles,
+    APRIL tolerates latencies in the 150-300 cycle range: utilization
+    at T~150-300 with p=4 stays well above the single-thread level."""
+    def run():
+        results = {}
+        for radix in (20, 60, 110):   # scales the base round trip
+            params = ModelParams(network_radix=radix)
+            u1, t, _ = solve(params, 1, vary_network=False)
+            u4, _, _ = solve(params, 4, vary_network=False)
+            results[round(params.base_round_trip)] = (u1, u4)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    lines = ["base T   U(1)    U(4)   gain"]
+    for t, (u1, u4) in sorted(results.items()):
+        lines.append("%6d   %.3f   %.3f   %.1fx" % (t, u1, u4, u4 / u1))
+    text = "\n".join(lines)
+    print(reporting.banner("Latency tolerance with 4 task frames"))
+    print(text)
+    reporting.save_report("scalability_latency.txt", text)
+    for t, (u1, u4) in results.items():
+        if t >= 150:
+            assert u4 > 2.5 * u1      # multithreading pays off most
+    # Even at ~300-cycle latencies, 4 threads keep utilization usable.
+    worst = min(u4 for _t, (_u1, u4) in results.items())
+    assert worst > 0.4
+
+
+def test_system_power_grows_with_processors(benchmark):
+    """System power = processors x utilization (Section 8's metric)."""
+    def run():
+        params = ModelParams()
+        u3, _, _ = solve(params, 3)
+        return {n: n * u3 for n in (1000, 8000, 64000)}
+
+    power = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert power[8000] > power[1000]
+    benchmark.extra_info["power_8000"] = round(power[8000], 1)

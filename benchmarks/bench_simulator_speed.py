@@ -1,0 +1,33 @@
+"""Section 7's simulator-speed note, for our reproduction: the paper's
+T-based simulator ran ~40,000 APRIL instructions/second on a
+SPARCServer 330; this measures what the Python interpreter manages.
+(Only the *simulated* cycle counts matter for the experiments, but the
+throughput bounds how large a benchmark instance the harness can use.)
+"""
+
+import time
+
+from repro.lang.run import run_mult
+from repro import workloads
+
+
+def test_instruction_throughput(benchmark):
+    module = workloads.get("fib")
+
+    def run():
+        start = time.time()
+        result = run_mult(module.source(), mode="sequential", args=(13,))
+        elapsed = time.time() - start
+        return result, elapsed
+
+    result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1,
+                                         warmup_rounds=0)
+    instructions = result.stats.instructions
+    rate = instructions / elapsed if elapsed else float("inf")
+    print("simulated %d instructions in %.2fs: %.0f instr/s "
+          "(paper's 1990 simulator: ~40,000/s)" % (
+              instructions, elapsed, rate))
+    benchmark.extra_info["instructions"] = instructions
+    benchmark.extra_info["instr_per_sec"] = int(rate)
+    assert result.value == module.reference(13)
+    assert rate > 10_000     # generous floor: catch pathological slowdowns

@@ -1,0 +1,64 @@
+"""Regenerate **Table 3**: normalized execution time of the four Mul-T
+benchmarks on the Encore Multimax, APRIL (eager futures), and APRIL
+with lazy task creation, for 1-16 processors.
+
+Run with ``pytest benchmarks/bench_table3.py --benchmark-only -s`` to
+see the assembled table; it is also written to ``results/table3.txt``.
+
+Expected shape (paper Section 7):
+
+* "Mul-T seq" ~2x on the Encore (software future detection), 1.0 on
+  APRIL (hardware tags);
+* fib's eager-future overhead ~14x on APRIL, ~2x that on the Encore;
+  lazy task creation cuts it to ~1.5x;
+* near-linear speedup to 16 processors for the lazy configuration.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.harness import reporting
+from repro.harness.table3 import SYSTEMS, render_table3, run_program_row
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("module", workloads.ALL, ids=lambda m: m.NAME)
+def test_table3_row(benchmark, module, system):
+    """One (program, system) row; the benchmark value is the simulated
+    single-processor parallel-code cycle count."""
+    def run():
+        row = run_program_row(module, system)
+        _ROWS.append(row)
+        return row
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["program"] = module.NAME
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["mult_seq"] = round(row.mult_seq, 3)
+    benchmark.extra_info["parallel"] = {
+        str(n): round(t, 3) for n, t in row.parallel.items()}
+    # Structural sanity of the row, so a broken run fails loudly here.
+    assert row.t_seq == 1.0
+    assert row.mult_seq >= 0.99
+    cpus = sorted(row.parallel)
+    times = [row.parallel[n] for n in cpus]
+    assert times == sorted(times, reverse=True), "must speed up with CPUs"
+
+
+def test_zzz_render_table(benchmark):
+    """Assemble and print the full table after all rows ran."""
+    def render():
+        text = render_table3(sorted(
+            _ROWS, key=lambda r: ([m.NAME for m in workloads.ALL].index(r.program),
+                                  SYSTEMS.index(r.system))))
+        return text
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1,
+                              warmup_rounds=0)
+    path = reporting.save_report("table3.txt", text)
+    print(reporting.banner("Table 3 (normalized execution time)"))
+    print(text)
+    print("saved to", path)
+    assert "fib" in text

@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+The benchmarks regenerate the paper's tables and figures; each is a
+full machine simulation (deterministic), so every bench runs exactly
+once (``pedantic`` with one round) — we are measuring the *simulated*
+machine, not the simulator's wall clock jitter.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a target exactly once under pytest-benchmark."""
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return runner

@@ -1,0 +1,45 @@
+"""Scalability study: explore the Section 8 model interactively.
+
+    python examples/scalability_study.py
+
+Prints Table 4, the Figure 5 decomposition, and two sweeps the paper
+discusses in prose: context-switch cost and network latency tolerance.
+"""
+
+from repro.harness.figure5 import headline_numbers, render_report
+from repro.model.params import ModelParams
+from repro.model.utilization import solve, utilization_curve
+
+
+def main():
+    print(render_report())
+
+    numbers = headline_numbers()
+    print("\nHeadline numbers (paper Section 8):")
+    print("  base round-trip latency : %d cycles (paper: 55)"
+          % numbers["base_round_trip"])
+    print("  U(1) = %.3f, U(3) = %.3f (paper: ~0.80 at three threads)"
+          % (numbers["U(1)"], numbers["U(3)"]))
+    print("  peak U = %.3f at p=%d, capped by network bandwidth "
+          "(paper: ~0.80)" % (numbers["U_max"], numbers["plateau_at"]))
+
+    print("\nContext-switch cost sweep at p=3 "
+          "(the '10 cycles is fine' claim):")
+    for c in (4, 10, 16, 32, 64):
+        u, _, _ = solve(ModelParams(context_switch=c), 3)
+        print("  C=%2d cycles -> U(3) = %.3f" % (c, u))
+
+    print("\nLatency tolerance with 4 task frames "
+          "(Section 3's 150-300 cycle range):")
+    for radix in (20, 40, 80, 110):
+        # Pure latency sweep: pin contention so only T varies.
+        params = ModelParams(network_radix=radix)
+        curve = utilization_curve(params, max_threads=4,
+                                  vary_network=False)
+        print("  T=%3d cycles -> U(1)=%.3f  U(4)=%.3f  (%.1fx from "
+              "multithreading)" % (params.base_round_trip, curve[0],
+                                   curve[3], curve[3] / curve[0]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of *APRIL: A Processor Architecture for Multiprocessing*
+(Agarwal, Lim, Kranz & Kubiatowicz, ISCA 1990).
+
+The package simulates the complete system the paper evaluates — the
+APRIL processor, the ALEWIFE memory hierarchy and network, the Mul-T
+compiler and run-time system, the Encore baseline, and the Section 8
+analytical model.  The most common entry points are re-exported here::
+
+    from repro import run_mult, MachineConfig
+
+    result = run_mult(source, mode="lazy", processors=4, args=(10,))
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.lang.compiler import compile_source
+from repro.lang.run import run_mult
+from repro.machine.alewife import AlewifeMachine, run_program
+from repro.machine.config import MachineConfig
+from repro.model.params import ModelParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlewifeMachine",
+    "MachineConfig",
+    "ModelParams",
+    "compile_source",
+    "run_mult",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Comparison systems of Table 3: the Encore Multimax configuration and
+the sequential (T-compiled) baselines."""
+
+from repro.baselines.encore import encore_config
+
+__all__ = ["encore_config"]

@@ -1,0 +1,41 @@
+"""The sequential baselines of Table 3.
+
+* **T seq** — the program with futures stripped, compiled by the
+  optimizing sequential compiler (no future checks anywhere).  This is
+  the normalization denominator for every system.
+* **Mul-T seq** — the same sequential program compiled by the Mul-T
+  compiler: identical to T seq on APRIL (tag hardware is free), but
+  carrying software future checks on the Encore (the ~2x column).
+"""
+
+from repro.lang.compiler import compile_source
+from repro.lang.run import run_mult
+from repro.machine.config import MachineConfig
+
+
+def t_seq_cycles(source, args=()):
+    """Cycles for the T-compiled sequential program (one processor)."""
+    result = run_mult(source, mode="sequential", processors=1, args=args)
+    return result.cycles
+
+
+def mult_seq_cycles(source, args=(), software_checks=False):
+    """Cycles for Mul-T-compiled sequential code.
+
+    ``software_checks=True`` gives the Encore configuration; APRIL's
+    hardware tags make Mul-T seq identical to T seq (the paper's 1.0).
+    """
+    result = run_mult(source, mode="sequential", processors=1, args=args,
+                      software_checks=software_checks)
+    return result.cycles
+
+
+def compile_sequential(source, software_checks=False):
+    """Compile the futures-stripped program (for custom harnesses)."""
+    return compile_source(source, mode="sequential",
+                          software_checks=software_checks)
+
+
+def uniprocessor_config(**overrides):
+    """A plain one-processor ideal-memory machine."""
+    return MachineConfig(num_processors=1, **overrides)

@@ -1,0 +1,104 @@
+"""The ``april`` command-line interface.
+
+Subcommands::
+
+    april run PROGRAM.mult [-p CPUS] [--mode eager|lazy|sequential]
+                           [--encore] [--coherent] [--args 10 ...]
+    april asm PROGRAM.s          # assemble + list
+    april table3 [--programs fib factor]
+    april figure5
+"""
+
+import argparse
+import sys
+
+from repro.harness.figure5 import render_report
+from repro.harness.table3 import render_table3, run_table3
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.lang.run import run_mult
+from repro.machine.config import MachineConfig
+
+
+def _cmd_run(args):
+    with open(args.program) as handle:
+        source = handle.read()
+    config = MachineConfig(
+        num_processors=args.processors,
+        memory_mode="coherent" if args.coherent else "ideal",
+    )
+    if args.encore:
+        from repro.baselines.encore import encore_config
+        config = encore_config(args.processors)
+    result = run_mult(source, mode=args.mode, args=tuple(args.args),
+                      software_checks=args.encore, config=config)
+    for line in result.output:
+        print(line)
+    print("result:", result.value)
+    print("cycles: %d   utilization: %.1f%%   futures: %d   switches: %d"
+          % (result.cycles, 100 * result.stats.utilization,
+             result.stats.futures_created, result.stats.context_switches))
+    return 0
+
+
+def _cmd_asm(args):
+    with open(args.program) as handle:
+        program = assemble(handle.read())
+    print(disassemble(program.words, base=program.base,
+                      labels=program.labels))
+    return 0
+
+
+def _cmd_table3(args):
+    rows = run_table3(program_names=args.programs or None)
+    print(render_table3(rows))
+    return 0
+
+
+def _cmd_figure5(args):
+    print(render_report())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="april",
+        description="APRIL (ISCA 1990) reproduction: simulate Mul-T "
+                    "programs on a coarse-grain multithreaded machine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="compile and run a Mul-T program")
+    run_cmd.add_argument("program")
+    run_cmd.add_argument("-p", "--processors", type=int, default=1)
+    run_cmd.add_argument("--mode", default="eager",
+                         choices=("eager", "lazy", "sequential"))
+    run_cmd.add_argument("--encore", action="store_true",
+                         help="Encore Multimax baseline configuration")
+    run_cmd.add_argument("--coherent", action="store_true",
+                         help="full caches + directory + network")
+    run_cmd.add_argument("--args", type=int, nargs="*", default=[],
+                         help="fixnum arguments passed to (main ...)")
+    run_cmd.set_defaults(func=_cmd_run)
+
+    asm_cmd = sub.add_parser("asm", help="assemble and list APRIL assembly")
+    asm_cmd.add_argument("program")
+    asm_cmd.set_defaults(func=_cmd_asm)
+
+    t3 = sub.add_parser("table3", help="regenerate Table 3")
+    t3.add_argument("--programs", nargs="*",
+                    choices=("fib", "factor", "queens", "speech"))
+    t3.set_defaults(func=_cmd_table3)
+
+    f5 = sub.add_parser("figure5", help="regenerate Table 4 + Figure 5")
+    f5.set_defaults(func=_cmd_figure5)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""The APRIL processor core (paper Sections 3-5): task frames, tagged
+ALU, trap mechanism, per-context FPU, and the pipeline interpreter."""
+
+from repro.core.processor import Processor
+from repro.core.traps import Trap, TrapAction, TrapKind
+
+__all__ = ["Processor", "Trap", "TrapAction", "TrapKind"]

@@ -1,0 +1,176 @@
+"""The APRIL ALU: tagged arithmetic with future detection.
+
+Strict compute instructions (``add``, ``sub``, ``mul``, ``div``, ``rem``,
+``cmp``) operate on fixnums and *trap when an operand has its least
+significant bit set* — i.e. when it is a future pointer (paper Sections
+4 and 5: "a strict operation ... applied to one or more future pointers
+is flagged with a modified non-fixnum trap, that is triggered if an
+operand has its lowest bit set").
+
+Because fixnums are ``n << 2``, addition and subtraction work directly
+on the tagged representation; multiply/divide detag and retag.
+
+Raw logic instructions (``and``/``or``/``xor``/shifts/``addr``/``subr``)
+never trap; the run-time system uses them to build and take apart tagged
+words.
+
+All operations set the four SPARC-style condition codes N/Z/V/C as a
+side effect (paper Section 3).
+"""
+
+from repro.core.traps import Trap, TrapKind, TrapSignal
+from repro.isa.instructions import Opcode
+from repro.isa.tags import WORD_MASK
+
+
+def _signed(word):
+    """Interpret a 32-bit word as a signed integer."""
+    return word - (1 << 32) if word & 0x80000000 else word
+
+
+def _ccs_for(result, a=0, b=0, carry=False, overflow=False):
+    """(n, z, v, c) condition codes for a 32-bit result."""
+    return (
+        bool(result & 0x80000000),
+        result == 0,
+        overflow,
+        carry,
+    )
+
+
+def _add(a, b):
+    total = a + b
+    result = total & WORD_MASK
+    carry = total > WORD_MASK
+    overflow = ((a ^ result) & (b ^ result) & 0x80000000) != 0
+    return result, _ccs_for(result, carry=carry, overflow=overflow)
+
+
+def _sub(a, b):
+    total = a - b
+    result = total & WORD_MASK
+    borrow = total < 0
+    overflow = ((a ^ b) & (a ^ result) & 0x80000000) != 0
+    return result, _ccs_for(result, carry=borrow, overflow=overflow)
+
+
+def _check_strict(op, a, b, instr, pc):
+    """Raise the future-detection trap if either operand has bit 0 set."""
+    if (a | b) & 1:
+        offender = a if (a & 1) else b
+        raise TrapSignal(Trap(
+            TrapKind.FUTURE_COMPUTE, instr=instr, pc=pc, value=offender,
+            cause=op.name,
+        ))
+
+
+def execute(op, a, b, instr=None, pc=0):
+    """Execute one ALU operation.
+
+    Args:
+        op: the :class:`Opcode`.
+        a: first source operand (32-bit word).
+        b: second source operand (32-bit word; already the immediate for
+           I-format instructions, sign-extended and masked by the caller).
+        instr, pc: context for trap reporting.
+
+    Returns:
+        ``(result, (n, z, v, c))``.  ``cmp`` returns the discarded
+        difference as its result; the processor ignores it.
+
+    Raises:
+        TrapSignal: future-detection trap for strict ops on futures, or
+            a software-visible divide-by-zero (reported as ILLEGAL).
+    """
+    if op is Opcode.ADD:
+        _check_strict(op, a, b, instr, pc)
+        return _add(a, b)
+    if op is Opcode.SUB or op is Opcode.CMP:
+        _check_strict(op, a, b, instr, pc)
+        return _sub(a, b)
+    if op is Opcode.MUL:
+        _check_strict(op, a, b, instr, pc)
+        # Fixnum multiply: (a >> 2) * b keeps one factor tagged.
+        product = (_signed(a) >> 2) * _signed(b)
+        result = product & WORD_MASK
+        overflow = not (-(1 << 31) <= product < (1 << 31))
+        return result, _ccs_for(result, overflow=overflow)
+    if op is Opcode.DIV or op is Opcode.REM:
+        _check_strict(op, a, b, instr, pc)
+        if b == 0:
+            raise TrapSignal(Trap(
+                TrapKind.ILLEGAL, instr=instr, pc=pc, cause="divide by zero",
+            ))
+        # Truncating division on detagged values, retagged afterwards.
+        x, y = _signed(a) >> 2, _signed(b) >> 2
+        quotient = int(x / y) if y else 0
+        if op is Opcode.DIV:
+            result = (quotient << 2) & WORD_MASK
+        else:
+            result = ((x - quotient * y) << 2) & WORD_MASK
+        return result, _ccs_for(result)
+
+    # -- raw logic: no strictness checks ---------------------------------
+    if op is Opcode.AND:
+        result = a & b
+    elif op is Opcode.OR:
+        result = a | b
+    elif op is Opcode.XOR:
+        result = (a ^ b) & WORD_MASK
+    elif op is Opcode.ANDN:
+        result = a & ~b & WORD_MASK
+    elif op is Opcode.SLL:
+        result = (a << (b & 31)) & WORD_MASK
+    elif op is Opcode.SRL:
+        result = (a & WORD_MASK) >> (b & 31)
+    elif op is Opcode.SRA:
+        result = (_signed(a) >> (b & 31)) & WORD_MASK
+    elif op is Opcode.ADDR:
+        return _add(a, b)
+    elif op is Opcode.SUBR:
+        return _sub(a, b)
+    else:
+        raise ValueError("not an ALU opcode: %r" % op)
+    return result, _ccs_for(result)
+
+
+def branch_taken(op, psr):
+    """Evaluate a conditional branch against the PSR condition codes.
+
+    Implements the SPARC integer condition codes plus APRIL's
+    ``Jfull``/``Jempty`` on the full/empty condition bit (Section 4).
+    """
+    n, z, v, c = psr.n, psr.z, psr.v, psr.c
+    if op is Opcode.BA:
+        return True
+    if op is Opcode.BN:
+        return False
+    if op is Opcode.BE:
+        return z
+    if op is Opcode.BNE:
+        return not z
+    if op is Opcode.BL:
+        return n != v
+    if op is Opcode.BLE:
+        return z or (n != v)
+    if op is Opcode.BG:
+        return not (z or (n != v))
+    if op is Opcode.BGE:
+        return n == v
+    if op is Opcode.BNEG:
+        return n
+    if op is Opcode.BPOS:
+        return not n
+    if op is Opcode.BCS:
+        return c
+    if op is Opcode.BCC:
+        return not c
+    if op is Opcode.BVS:
+        return v
+    if op is Opcode.BVC:
+        return not v
+    if op is Opcode.JFULL:
+        return psr.fe
+    if op is Opcode.JEMPTY:
+        return not psr.fe
+    raise ValueError("not a branch opcode: %r" % op)

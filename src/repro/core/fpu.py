@@ -1,0 +1,91 @@
+"""The per-context floating-point register file (paper Section 5).
+
+The SPARC FPU has a single 32-word register file and no register
+windows.  "To retain rapid context switching ability ... we have divided
+the floating point register file into four sets of eight registers.
+This is achieved by modifying floating-point instructions in a context
+dependent fashion as they are loaded into the FPU and by maintaining
+four different sets of condition bits."
+
+This module models exactly that: a 32-entry physical file, with FP
+register ``f0..f7`` of context *k* mapping to physical entry
+``8*k + n``, and four independent FP condition-code sets selected by the
+current frame pointer (the externally visible CWP of Section 5).
+
+The integer benchmarks of the paper never touch the FPU, but the
+mechanism is part of the architecture, so it is implemented and tested;
+``examples/full_empty_tour.py`` exercises it.
+"""
+
+from repro.errors import ProcessorError
+from repro.isa.registers import NUM_TASK_FRAMES
+
+REGS_PER_CONTEXT = 8
+PHYSICAL_REGS = REGS_PER_CONTEXT * NUM_TASK_FRAMES
+
+
+class FPU:
+    """Four-context windowed view over one physical FP register file."""
+
+    def __init__(self):
+        self._file = [0.0] * PHYSICAL_REGS
+        self._fcc = [False] * NUM_TASK_FRAMES  # FP condition bit per context
+
+    def _physical(self, context, reg):
+        if not 0 <= context < NUM_TASK_FRAMES:
+            raise ProcessorError("bad FPU context: %d" % context)
+        if not 0 <= reg < REGS_PER_CONTEXT:
+            raise ProcessorError(
+                "FP register f%d out of per-context range (0..%d)"
+                % (reg, REGS_PER_CONTEXT - 1)
+            )
+        return context * REGS_PER_CONTEXT + reg
+
+    def read(self, context, reg):
+        """Read f<reg> as seen by the given context."""
+        return self._file[self._physical(context, reg)]
+
+    def write(self, context, reg, value):
+        """Write f<reg> as seen by the given context."""
+        self._file[self._physical(context, reg)] = float(value)
+
+    def op(self, context, name, rs1, rs2, rd):
+        """Execute one FP operation within a context's window.
+
+        Supported: ``fadd``, ``fsub``, ``fmul``, ``fdiv``, ``fcmp``
+        (which sets the context's FP condition bit to "rs1 < rs2").
+        """
+        a = self.read(context, rs1)
+        b = self.read(context, rs2)
+        if name == "fadd":
+            self.write(context, rd, a + b)
+        elif name == "fsub":
+            self.write(context, rd, a - b)
+        elif name == "fmul":
+            self.write(context, rd, a * b)
+        elif name == "fdiv":
+            if b == 0.0:
+                raise ProcessorError("FP divide by zero")
+            self.write(context, rd, a / b)
+        elif name == "fcmp":
+            self._fcc[context] = a < b
+        else:
+            raise ProcessorError("unknown FP op: %s" % name)
+
+    def condition(self, context):
+        """The FP condition bit of a context (set by ``fcmp``)."""
+        return self._fcc[context]
+
+    def context_registers(self, context):
+        """Snapshot of one context's eight registers (for unloading)."""
+        base = context * REGS_PER_CONTEXT
+        return list(self._file[base:base + REGS_PER_CONTEXT])
+
+    def load_context(self, context, values):
+        """Restore one context's registers (for thread loading)."""
+        if len(values) != REGS_PER_CONTEXT:
+            raise ProcessorError(
+                "FPU context restore needs %d values" % REGS_PER_CONTEXT
+            )
+        base = context * REGS_PER_CONTEXT
+        self._file[base:base + REGS_PER_CONTEXT] = [float(v) for v in values]

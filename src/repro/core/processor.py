@@ -1,0 +1,430 @@
+"""The APRIL processor (paper Sections 3-5).
+
+A pipelined RISC interpreter with the multiprocessing extensions:
+
+* four hardware task frames selected by a frame pointer (FP), plus
+  eight global registers;
+* coarse-grain multithreading: execution proceeds full-speed within one
+  thread until the cache controller or the full/empty logic traps the
+  processor, at which point a (cheap) trap handler context-switches;
+* hardware future detection: strict compute instructions and memory
+  address operands trap when a value has its LSB set;
+* a PC chain (PC + nPC) giving a single-cycle branch delay slot;
+* the trap mechanism of Section 5: five cycles to squash the pipeline,
+  then the handler runs in the trapping thread's task frame.
+
+Cycle accounting: every instruction costs one cycle (plus memory stall
+cycles reported by the controller, plus trap/handler overheads).  The
+processor keeps per-category cycle counters so the harness can decompose
+utilization exactly like Figure 5 of the paper (useful work / switch
+overhead / memory stalls / idle).
+"""
+
+from repro.core import alu
+from repro.core.fpu import FPU
+from repro.core.task_frame import TaskFrame
+from repro.core.traps import (
+    TRAP_SQUASH_CYCLES,
+    Trap,
+    TrapAction,
+    TrapKind,
+    TrapSignal,
+    TrapTable,
+)
+from repro.errors import ProcessorError
+from repro.isa import registers
+from repro.isa.encoding import DecodeCache
+from repro.isa.instructions import (
+    LOAD_FLAVORS,
+    STORE_FLAVORS,
+    Category,
+    Opcode,
+)
+from repro.isa.tags import WORD_MASK
+
+#: Cycle-cost categories tracked by :attr:`Processor.stats`.
+CATEGORIES = ("useful", "stall", "trap", "switch", "spin", "idle")
+
+
+class ProcessorStats:
+    """Per-processor cycle and event counters."""
+
+    __slots__ = (
+        "useful", "stall", "trap", "switch", "spin", "idle",
+        "instructions", "context_switches", "traps_taken", "trap_counts",
+    )
+
+    def __init__(self):
+        for name in CATEGORIES:
+            setattr(self, name, 0)
+        self.instructions = 0
+        self.context_switches = 0
+        self.traps_taken = 0
+        self.trap_counts = {}
+
+    @property
+    def total_cycles(self):
+        return sum(getattr(self, name) for name in CATEGORIES)
+
+    def utilization(self):
+        """Fraction of cycles doing useful work (the paper's U)."""
+        total = self.total_cycles
+        return self.useful / total if total else 0.0
+
+    def count_trap(self, kind):
+        self.traps_taken += 1
+        self.trap_counts[kind] = self.trap_counts.get(kind, 0) + 1
+
+    def snapshot(self):
+        """Dict snapshot for reporting."""
+        data = {name: getattr(self, name) for name in CATEGORIES}
+        data.update(
+            instructions=self.instructions,
+            context_switches=self.context_switches,
+            traps_taken=self.traps_taken,
+            total_cycles=self.total_cycles,
+        )
+        return data
+
+
+class Processor:
+    """One APRIL processor.
+
+    Args:
+        node_id: index of the ALEWIFE node this processor belongs to.
+        port: a :class:`repro.core.memport.MemoryPort`.
+        num_frames: hardware task frames (4 in the SPARC implementation).
+        decoder: optionally shared :class:`DecodeCache`.
+    """
+
+    def __init__(self, node_id=0, port=None, num_frames=registers.NUM_TASK_FRAMES,
+                 decoder=None):
+        self.node_id = node_id
+        self.port = port
+        self.frames = [TaskFrame(i) for i in range(num_frames)]
+        self.globals = [0] * registers.NUM_GLOBAL_REGISTERS
+        self.fp = 0
+        self.fpu = FPU()
+        self.trap_table = TrapTable()
+        self.decoder = decoder if decoder is not None else DecodeCache()
+        self.cycles = 0
+        self.stats = ProcessorStats()
+        self.halted = False
+        self.ipi_queue = []
+        #: Pipeline-squash cost per trap (4 on custom APRIL silicon).
+        self.trap_squash_cycles = TRAP_SQUASH_CYCLES
+        #: Optional per-instruction callback(cpu, pc, instr) for tracing.
+        self.trace_hook = None
+        #: Opaque slot for the run-time system (scheduler, queues...).
+        self.env = None
+
+    # -- register file ----------------------------------------------------
+
+    @property
+    def frame(self):
+        """The active task frame (designated by FP)."""
+        return self.frames[self.fp]
+
+    def read_reg(self, number, frame=None):
+        """Read an encoded register (frame-relative or global)."""
+        if number == 0:
+            return 0
+        if number < registers.GLOBAL_BASE:
+            return (frame or self.frame).regs[number]
+        return self.globals[number - registers.GLOBAL_BASE]
+
+    def write_reg(self, number, value, frame=None):
+        """Write an encoded register; writes to r0 are discarded."""
+        if number == 0:
+            return
+        value &= WORD_MASK
+        if number < registers.GLOBAL_BASE:
+            (frame or self.frame).regs[number] = value
+        else:
+            self.globals[number - registers.GLOBAL_BASE] = value
+
+    # -- cycle accounting ------------------------------------------------------
+
+    def charge(self, cycles, category="useful"):
+        """Advance the local clock, attributing cycles to a category."""
+        if cycles < 0:
+            raise ProcessorError("negative cycle charge")
+        self.cycles += cycles
+        setattr(self.stats, category, getattr(self.stats, category) + cycles)
+
+    # -- IPI delivery (Section 3.4) -----------------------------------------
+
+    def post_ipi(self, message):
+        """Queue a preemptive interprocessor interrupt for this processor."""
+        self.ipi_queue.append(message)
+
+    # -- main step loop ------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction (or take one trap).
+
+        Returns the number of cycles consumed, and advances
+        :attr:`cycles` by the same amount.
+        """
+        if self.halted:
+            return 0
+        start = self.cycles
+
+        frame = self.frame
+        if self.ipi_queue and frame.psr.traps_enabled:
+            message = self.ipi_queue.pop(0)
+            self._take_trap(frame, Trap(TrapKind.IPI, pc=frame.pc, value=message))
+            return self.cycles - start
+
+        pc = frame.pc
+        try:
+            word = self.port.fetch(pc)
+            instr = self.decoder.decode(word)
+        except Exception as exc:
+            self._take_trap(frame, Trap(TrapKind.ILLEGAL, pc=pc, cause=str(exc)))
+            return self.cycles - start
+
+        if self.trace_hook is not None:
+            self.trace_hook(self, pc, instr)
+        npc = frame.npc
+        try:
+            next_pc, next_npc = self._execute(frame, instr, pc, npc)
+        except TrapSignal as signal:
+            self._take_trap(frame, signal.trap)
+            return self.cycles - start
+
+        # The executing frame's PC chain advances; a handler or INCFP may
+        # have redirected FP, which only affects the *next* fetch.
+        frame.pc = next_pc
+        frame.npc = next_npc
+        self.stats.instructions += 1
+        return self.cycles - start
+
+    def run(self, max_cycles=None, max_instructions=None):
+        """Step until halted or a limit is reached; returns cycles run."""
+        start = self.cycles
+        executed = 0
+        while not self.halted:
+            if max_cycles is not None and self.cycles - start >= max_cycles:
+                break
+            if max_instructions is not None and executed >= max_instructions:
+                break
+            self.step()
+            executed += 1
+        return self.cycles - start
+
+    # -- trap mechanism -----------------------------------------------------
+
+    def _take_trap(self, frame, trap):
+        """The hardware trap sequence (Section 5): squash, bank state,
+        run the handler in the trapping frame, apply its action."""
+        self.charge(self.trap_squash_cycles, "trap")
+        self.stats.count_trap(trap.kind)
+        frame.enter_trap()
+        handler = self.trap_table.lookup(trap)
+        action = handler(self, frame, trap)
+        if action is None:
+            raise ProcessorError("trap handler returned no action for %r" % trap)
+        if action is TrapAction.RETRY or action is TrapAction.SWITCHED:
+            # PC chain untouched: the trapping instruction re-executes
+            # when this frame next runs.
+            return
+        if action is TrapAction.RESUME:
+            frame.pc = frame.trap_saved_npc
+            frame.npc = frame.trap_saved_npc + 4
+            return
+        if action is TrapAction.HALT:
+            self.halted = True
+            return
+        raise ProcessorError("unknown trap action %r" % action)
+
+    # -- execute stage ----------------------------------------------------------
+
+    def _execute(self, frame, instr, pc, npc):
+        """Execute one decoded instruction; returns the next PC chain."""
+        op = instr.op
+        cat = instr.category
+
+        if cat is Category.COMPUTE or cat is Category.LOGIC:
+            self._execute_alu(frame, instr, pc)
+            self.charge(1)
+            return npc, npc + 4
+
+        if cat is Category.LOAD:
+            self._execute_load(frame, instr, pc)
+            return npc, npc + 4
+
+        if cat is Category.STORE:
+            self._execute_store(frame, instr, pc)
+            return npc, npc + 4
+
+        if cat is Category.BRANCH:
+            self.charge(1)
+            if alu.branch_taken(op, frame.psr):
+                return npc, pc + 4 * instr.imm
+            return npc, npc + 4
+
+        if op is Opcode.CALL:
+            self.charge(1)
+            self.write_reg(registers.RA, pc + 8, frame)
+            return npc, pc + 4 * instr.imm
+
+        if op is Opcode.JMPL:
+            self.charge(1)
+            target = (self.read_reg(instr.rs1, frame) + instr.imm) & WORD_MASK
+            self.write_reg(instr.rd, pc + 8, frame)
+            return npc, target
+
+        if cat is Category.FRAME:
+            return self._execute_frame_op(frame, instr, npc)
+
+        if cat is Category.SYSTEM:
+            return self._execute_system(frame, instr, pc, npc)
+
+        if cat is Category.OOB:
+            self._execute_oob(frame, instr)
+            return npc, npc + 4
+
+        raise ProcessorError("unimplemented instruction %r" % instr)
+
+    def _alu_operand_b(self, frame, instr):
+        if instr.use_imm:
+            return instr.imm & WORD_MASK
+        return self.read_reg(instr.rs2, frame)
+
+    def _execute_alu(self, frame, instr, pc):
+        op = instr.op
+        if op is Opcode.LUI:
+            self.write_reg(instr.rd, (instr.imm << 14) & WORD_MASK, frame)
+            return
+        if op is Opcode.ORIL:
+            value = self.read_reg(instr.rd, frame) | instr.imm
+            self.write_reg(instr.rd, value, frame)
+            return
+        a = self.read_reg(instr.rs1, frame)
+        b = self._alu_operand_b(frame, instr)
+        result, (n, z, v, c) = alu.execute(op, a, b, instr=instr, pc=pc)
+        frame.psr.set_ccs(n, z, v, c)
+        if op is not Opcode.CMP:
+            self.write_reg(instr.rd, result, frame)
+
+    def _data_address(self, frame, instr, pc, raw):
+        """Compute and validate a data address; trap on future pointers."""
+        base = self.read_reg(instr.rs1, frame)
+        if not raw and (base & 1):
+            raise TrapSignal(Trap(
+                TrapKind.FUTURE_ADDRESS, instr=instr, pc=pc, value=base,
+            ))
+        address = (base + instr.imm) & WORD_MASK
+        if address & 3:
+            raise TrapSignal(Trap(
+                TrapKind.ALIGNMENT, instr=instr, pc=pc, address=address,
+            ))
+        return address
+
+    def _execute_load(self, frame, instr, pc):
+        flavor = LOAD_FLAVORS[instr.op]
+        address = self._data_address(frame, instr, pc, flavor.raw)
+        outcome = self.port.load(address, flavor, context=self)
+        self._finish_access(frame, instr, pc, address, outcome, is_load=True)
+
+    def _execute_store(self, frame, instr, pc):
+        flavor = STORE_FLAVORS[instr.op]
+        address = self._data_address(frame, instr, pc, flavor.raw)
+        value = self.read_reg(instr.rd, frame)
+        outcome = self.port.store(address, value, flavor, context=self)
+        self._finish_access(frame, instr, pc, address, outcome, is_load=False)
+
+    def _finish_access(self, frame, instr, pc, address, outcome, is_load):
+        if not outcome.ok:
+            # The controller charged us for the attempt before trapping.
+            self.charge(max(outcome.cycles - 1, 0), "stall")
+            self.charge(1)
+            raise TrapSignal(Trap(
+                outcome.trap_kind, instr=instr, pc=pc, address=address,
+                cause=outcome.detail,
+            ))
+        self.charge(1)
+        if outcome.cycles > 1:
+            self.charge(outcome.cycles - 1, "stall")
+        frame.psr.fe = outcome.fe_full
+        if is_load:
+            self.write_reg(instr.rd, outcome.value, frame)
+
+    def _execute_frame_op(self, frame, instr, npc):
+        op = instr.op
+        self.charge(1)
+        count = len(self.frames)
+        if op is Opcode.INCFP:
+            self.fp = (self.fp + 1) % count
+        elif op is Opcode.DECFP:
+            self.fp = (self.fp - 1) % count
+        elif op is Opcode.RDFP:
+            self.write_reg(instr.rd, self.fp, frame)
+        elif op is Opcode.STFP:
+            self.fp = self.read_reg(instr.rs1, frame) % count
+        return npc, npc + 4
+
+    def _execute_system(self, frame, instr, pc, npc):
+        op = instr.op
+        if op is Opcode.NOP:
+            self.charge(1)
+            return npc, npc + 4
+        if op is Opcode.HALT:
+            self.charge(1)
+            self.halted = True
+            return pc, npc  # PC frozen at the halt
+        if op is Opcode.TRAP:
+            self.charge(1)
+            raise TrapSignal(Trap(
+                TrapKind.SOFTWARE, vector=instr.imm, instr=instr, pc=pc,
+            ))
+        if op is Opcode.RDPSR:
+            self.charge(1)
+            self.write_reg(instr.rd, frame.psr.value, frame)
+            return npc, npc + 4
+        if op is Opcode.WRPSR:
+            self.charge(1)
+            frame.psr.value = self.read_reg(instr.rs1, frame)
+            return npc, npc + 4
+        if op is Opcode.RETT:
+            self.charge(1)
+            frame.return_from_trap(retry=True)
+            return frame.pc, frame.npc
+        raise ProcessorError("unimplemented system op %r" % instr)
+
+    def _execute_oob(self, frame, instr):
+        op = instr.op
+        base = self.read_reg(instr.rs1, frame)
+        address = (base + instr.imm) & WORD_MASK
+        if op is Opcode.FLUSH:
+            outcome = self.port.flush(address, context=self)
+            self.charge(outcome.cycles)
+        elif op is Opcode.LDIO:
+            outcome = self.port.ldio(address, context=self)
+            self.charge(outcome.cycles)
+            self.write_reg(instr.rd, outcome.value, frame)
+        elif op is Opcode.STIO:
+            value = self.read_reg(instr.rd, frame)
+            outcome = self.port.stio(address, value, context=self)
+            self.charge(outcome.cycles)
+        else:
+            raise ProcessorError("unimplemented OOB op %r" % instr)
+
+    # -- occupancy helpers used by the run-time system ------------------------
+
+    def occupied_frames(self):
+        """Frames currently holding loaded threads."""
+        return [f for f in self.frames if f.occupied]
+
+    def free_frame(self):
+        """A frame with no loaded thread, or ``None``."""
+        for f in self.frames:
+            if not f.occupied:
+                return f
+        return None
+
+    def __repr__(self):
+        return "Processor(node=%d, fp=%d, cycles=%d, halted=%s)" % (
+            self.node_id, self.fp, self.cycles, self.halted,
+        )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the APRIL reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch simulation problems without masking genuine Python bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when APRIL assembly source cannot be assembled."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+class TagError(ReproError):
+    """Raised on an invalid tagged-value operation (bad tag, overflow)."""
+
+
+class MemoryError_(ReproError):
+    """Raised on an out-of-range or misaligned simulated memory access."""
+
+
+class ProcessorError(ReproError):
+    """Raised when the simulated processor reaches an illegal state."""
+
+
+class RuntimeSystemError(ReproError):
+    """Raised by the run-time system (scheduler, futures, heap)."""
+
+
+class CompilerError(ReproError):
+    """Raised when a Mul-T program cannot be compiled."""
+
+    def __init__(self, message, form=None):
+        if form is not None:
+            message = "%s (in form %r)" % (message, form)
+        super().__init__(message)
+        self.form = form
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation run fails (deadlock, cycle limit, ...)."""
+
+
+class ConfigError(ReproError):
+    """Raised for inconsistent machine or model configuration."""

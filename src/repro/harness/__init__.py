@@ -1,0 +1,6 @@
+"""Drivers that regenerate the paper's tables and figures; used by the
+``benchmarks/`` suite and the ``april`` CLI."""
+
+from repro.harness.table3 import render_table3, run_table3
+
+__all__ = ["render_table3", "run_table3"]

@@ -1,0 +1,141 @@
+"""Regenerate Table 3: normalized execution times of the four Mul-T
+benchmarks on the Encore Multimax, APRIL with normal (eager) task
+creation, and APRIL with lazy task creation.
+
+Methodology follows Section 7 exactly:
+
+* every entry is execution time normalized to the *sequential* version
+  of the program ("with no futures and compiled with an optimizing
+  T-compiler") on the same system;
+* multiprocessor runs use the processor simulator **without** the cache
+  and network simulators (ideal shared memory);
+* the Encore rows carry software future checks and heavy task
+  management; the APRIL rows use hardware tags and the 11-cycle
+  trap-based run-time system; the Apr-lazy rows compile futures with
+  lazy task creation.
+"""
+
+from repro.baselines.encore import encore_config
+from repro.lang.compiler import compile_source
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro import workloads
+
+#: Processor counts per system row, as in the paper's table.
+ENCORE_CPUS = (1, 2, 4, 8)
+APRIL_CPUS = (1, 2, 4, 8, 16)
+
+SYSTEMS = ("Encore", "APRIL", "Apr-lazy")
+
+
+class Table3Row:
+    """One system's row for one program."""
+
+    def __init__(self, program, system, t_seq, mult_seq, parallel):
+        self.program = program
+        self.system = system
+        self.t_seq = t_seq              # normalized: always 1.0
+        self.mult_seq = mult_seq        # normalized to t_seq
+        self.parallel = parallel        # {ncpus: normalized time}
+
+    def as_dict(self):
+        data = {"T seq": self.t_seq, "Mul-T seq": self.mult_seq}
+        data.update({str(n): t for n, t in sorted(self.parallel.items())})
+        return data
+
+
+def _run(compiled, config, args, max_cycles):
+    machine = AlewifeMachine(compiled.program, config)
+    result = machine.run(entry=compiled.entry_label("main"), args=args,
+                         max_cycles=max_cycles)
+    return result
+
+
+def _april_config(processors, lazy):
+    return MachineConfig(num_processors=processors, lazy_futures=lazy)
+
+
+def run_program_row(module, system, cpus=None, args=None,
+                    max_cycles=500_000_000, check_result=True):
+    """Compute one Table 3 row.
+
+    Args:
+        module: a workload module from :mod:`repro.workloads`.
+        system: "Encore", "APRIL", or "Apr-lazy".
+        cpus: processor counts (defaults per system, as in the paper).
+        args: workload arguments (defaults to the module's Table 3 size).
+    """
+    if args is None:
+        args = module.args()
+    checks = system == "Encore"
+    if cpus is None:
+        cpus = ENCORE_CPUS if system == "Encore" else APRIL_CPUS
+    mode = "lazy" if system == "Apr-lazy" else "eager"
+
+    source = module.source()
+    seq_plain = compile_source(source, mode="sequential",
+                               software_checks=False)
+    seq_checked = compile_source(source, mode="sequential",
+                                 software_checks=checks)
+    parallel = compile_source(source, mode=mode, software_checks=checks)
+
+    def config_for(processors):
+        if system == "Encore":
+            return encore_config(processors)
+        return _april_config(processors, lazy=(mode == "lazy"))
+
+    base = _run(seq_plain, config_for(1), args, max_cycles)
+    t_seq_cycles = base.cycles
+    expected = base.value
+
+    mult_seq = _run(seq_checked, config_for(1), args, max_cycles)
+    if check_result and mult_seq.value != expected:
+        raise AssertionError(
+            "%s/%s Mul-T seq result %r != %r"
+            % (module.NAME, system, mult_seq.value, expected))
+
+    parallel_times = {}
+    for processors in cpus:
+        result = _run(parallel, config_for(processors), args, max_cycles)
+        if check_result and result.value != expected:
+            raise AssertionError(
+                "%s/%s on %d cpus: %r != %r"
+                % (module.NAME, system, processors, result.value, expected))
+        parallel_times[processors] = result.cycles / t_seq_cycles
+
+    return Table3Row(
+        module.NAME, system,
+        t_seq=1.0,
+        mult_seq=mult_seq.cycles / t_seq_cycles,
+        parallel=parallel_times,
+    )
+
+
+def run_table3(program_names=None, systems=SYSTEMS, args_by_program=None,
+               cpus_by_system=None):
+    """Compute the full table; returns ``[Table3Row]`` in paper order."""
+    rows = []
+    names = program_names or [m.NAME for m in workloads.ALL]
+    for name in names:
+        module = workloads.get(name)
+        args = (args_by_program or {}).get(name)
+        for system in systems:
+            cpus = (cpus_by_system or {}).get(system)
+            rows.append(run_program_row(module, system, cpus=cpus, args=args))
+    return rows
+
+
+def render_table3(rows):
+    """Format rows like the paper's Table 3."""
+    all_cpus = sorted({n for row in rows for n in row.parallel})
+    header = ("%-8s %-9s %6s %9s " % ("Program", "System", "T seq", "Mul-T seq")
+              + " ".join("%6d" % n for n in all_cpus))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for n in all_cpus:
+            value = row.parallel.get(n)
+            cells.append("%6.2f" % value if value is not None else "      ")
+        lines.append("%-8s %-9s %6.2f %9.2f %s" % (
+            row.program, row.system, row.t_seq, row.mult_seq, " ".join(cells)))
+    return "\n".join(lines)

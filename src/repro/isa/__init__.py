@@ -1,0 +1,17 @@
+"""The APRIL instruction set architecture (paper Section 4).
+
+Tagged data encodings, the instruction set with the Table 2 full/empty
+load/store flavors, binary encoding, a two-pass assembler with branch
+delay slots, a disassembler, and a postpass delay-slot optimizer.
+"""
+
+from repro.isa.assembler import Program, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.optimizer import assemble_optimized
+
+__all__ = [
+    "Instruction", "Opcode", "Program",
+    "assemble", "assemble_optimized", "disassemble", "decode", "encode",
+]

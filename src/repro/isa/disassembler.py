@@ -1,0 +1,51 @@
+"""Disassembler for APRIL binary words.
+
+Turns encoded 32-bit words back into canonical assembly text.  Data
+words that do not decode to a known opcode are rendered as ``.word``
+directives, so a full program image can always be listed.
+"""
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode
+from repro.isa.instructions import render
+
+
+def disassemble_word(word):
+    """Disassemble a single 32-bit word to text.
+
+    Returns canonical assembly, or a ``.word`` directive if the word is
+    not a valid instruction.
+    """
+    try:
+        return render(decode(word))
+    except (EncodingError, ValueError):
+        return ".word %#010x" % word
+
+
+def disassemble(words, base=0, labels=None):
+    """Disassemble a sequence of words into a listing string.
+
+    Args:
+        words: iterable of 32-bit words.
+        base: word address of the first word (for the address column).
+        labels: optional mapping of label name -> address; matching
+            addresses get a label line in the listing.
+
+    Returns:
+        A newline-joined listing like::
+
+            0x0010  fact:
+            0x0010      cmp a0, 2
+            0x0011      bl base_case
+    """
+    by_address = {}
+    if labels:
+        for name, address in labels.items():
+            by_address.setdefault(address, []).append(name)
+    lines = []
+    for offset, word in enumerate(words):
+        address = base + 4 * offset
+        for name in sorted(by_address.get(address, ())):
+            lines.append("%#06x  %s:" % (address, name))
+        lines.append("%#06x      %s" % (address, disassemble_word(word)))
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Postpass branch-delay-slot filling (paper Section 2.1, reference [10]).
+
+"Single-thread performance is optimized, and techniques used in RISC
+processors for enhancing pipeline performance can be applied" — the
+canonical such technique for APRIL's single-cycle branch delay slot is
+Hennessy & Gross-style postpass scheduling: move the instruction
+preceding a branch into its delay slot when that is semantically
+transparent, replacing the assembler's conservative ``nop``.
+
+The pass is deliberately conservative.  A candidate may move into the
+slot of branch B only if **all** of:
+
+* it is a plain instruction (not itself delayed, not a trap, not data);
+* it is not a jump target (no label attached);
+* it does not write a register B reads (a ``jmpl`` base), nor read or
+  write B's link register (``call``/``jmpl`` write the link *before*
+  the slot executes);
+* B is conditional only if the candidate leaves the condition codes
+  untouched (loads, stores, ``lui``/``oril`` — everything else in the
+  ALU sets CCs as a side effect, per Section 3);
+* B is ``jfull``/``jempty`` only if the candidate is not a memory
+  operation (those set the full/empty condition bit).
+
+Because the slot executes on *both* branch outcomes — exactly like the
+original pre-branch position — no liveness analysis beyond the above is
+needed.
+"""
+
+from repro.isa import registers
+from repro.isa.assembler import Assembler, _OPCODES_BY_NAME, _ALIAS_OPS
+from repro.isa.instructions import Category, Opcode, category_of
+
+#: Opcodes that do not modify the integer condition codes.
+_CC_SAFE = frozenset(
+    [Opcode.LUI, Opcode.ORIL, Opcode.NOP]
+    + [op for op in Opcode
+       if category_of(op) in (Category.LOAD, Category.STORE,
+                              Category.FRAME, Category.OOB)]
+)
+
+#: Conditional branches that read the integer condition codes.
+_CC_READERS = frozenset(
+    op for op in Opcode
+    if category_of(op) is Category.BRANCH
+    and op not in (Opcode.BA, Opcode.BN, Opcode.JFULL, Opcode.JEMPTY)
+)
+
+_FE_READERS = frozenset({Opcode.JFULL, Opcode.JEMPTY})
+
+
+def _opcode_of(stmt):
+    if stmt.kind != "instr":
+        return None
+    return _ALIAS_OPS.get(stmt.mnemonic) or _OPCODES_BY_NAME.get(stmt.mnemonic)
+
+
+def _reg_operand(text):
+    return registers.register_number(text.strip())
+
+
+def _written_registers(stmt, op):
+    """Registers a parsed statement writes (conservative, by syntax)."""
+    cat = category_of(op)
+    ops = stmt.operands
+    if cat in (Category.COMPUTE, Category.LOGIC):
+        if op is Opcode.CMP:
+            return set()
+        if op in (Opcode.LUI, Opcode.ORIL):
+            reg = _reg_operand(ops[0]) if ops else None
+        else:
+            reg = _reg_operand(ops[-1]) if ops else None
+        return {reg} if reg is not None else set()
+    if cat is Category.LOAD or op is Opcode.LDIO:
+        reg = _reg_operand(ops[-1]) if ops else None
+        return {reg} if reg is not None else set()
+    if op in (Opcode.RDFP, Opcode.RDPSR):
+        reg = _reg_operand(ops[0]) if ops else None
+        return {reg} if reg is not None else set()
+    return set()
+
+
+def _read_registers_of_branch(stmt, op):
+    """Registers a branch/jump reads before its slot executes."""
+    if op is Opcode.JMPL:
+        # "[base+off]" operand
+        inner = stmt.operands[0].strip().lstrip("[").rstrip("]")
+        for sep in ("+", "-"):
+            if sep in inner:
+                inner = inner.split(sep, 1)[0]
+        reg = _reg_operand(inner)
+        return {reg} if reg is not None else set()
+    return set()
+
+
+def _link_register(stmt, op):
+    if op is Opcode.CALL:
+        return registers.RA
+    if op is Opcode.JMPL:
+        reg = _reg_operand(stmt.operands[-1])
+        return reg
+    return None
+
+
+def _reads_any(stmt, op, regs):
+    """Does the statement's operand text mention any of the registers?
+
+    Syntactic and conservative: any occurrence (read or write position)
+    counts, which can only reject legal moves, never accept bad ones.
+    """
+    mentioned = set()
+    for operand in stmt.operands:
+        text = operand.strip().lstrip("[").rstrip("]")
+        for chunk in text.replace("+", " ").replace("-", " ").split():
+            reg = registers.register_number(chunk)
+            if reg is not None:
+                mentioned.add(reg)
+    return bool(mentioned & regs)
+
+
+class DelaySlotFiller:
+    """The postpass pass, hooked into the assembler pipeline."""
+
+    def __init__(self):
+        self.filled = 0
+        self.total_slots = 0
+
+    def run(self, statements, labeled_ids):
+        """Fill slots; returns the new statement list.
+
+        ``labeled_ids`` is the set of ``id()`` values of statements that
+        carry a label (jump targets) — neither a labeled candidate nor a
+        labeled branch may take part in a move (moving a labeled
+        candidate would relocate the target; filling a labeled branch's
+        slot would make the candidate execute on the jump-in path where
+        it previously did not).
+        """
+        result = list(statements)
+        i = 2
+        while i < len(result):
+            slot = result[i]
+            if not (slot.kind == "instr" and getattr(slot, "is_slot", False)):
+                i += 1
+                continue
+            self.total_slots += 1
+            branch = result[i - 1]
+            candidate = result[i - 2]
+            if self._can_fill(candidate, branch, labeled_ids):
+                # [cand, branch, nop] -> [branch, cand]; the candidate
+                # becomes the slot instruction.
+                candidate.is_slot = True
+                del result[i]
+                result[i - 2], result[i - 1] = branch, candidate
+                self.filled += 1
+                continue
+            i += 1
+        return result
+
+    def _can_fill(self, candidate, branch, labeled_ids):
+        if id(candidate) in labeled_ids or id(branch) in labeled_ids:
+            return False     # jump targets cannot move or absorb code
+        branch_op = _opcode_of(branch)
+        cand_op = _opcode_of(candidate)
+        if branch_op is None or cand_op is None:
+            return False
+        if getattr(candidate, "is_slot", False):
+            return False
+        cand_cat = category_of(cand_op)
+        if cand_cat in (Category.BRANCH, Category.JUMP):
+            return False
+        if cand_op in (Opcode.TRAP, Opcode.HALT, Opcode.RETT):
+            return False
+        if branch_op in _CC_READERS and cand_op not in _CC_SAFE:
+            return False
+        if branch_op in _FE_READERS and cand_cat in (Category.LOAD,
+                                                     Category.STORE):
+            return False
+        writes = _written_registers(candidate, cand_op)
+        branch_reads = _read_registers_of_branch(branch, branch_op)
+        if writes & branch_reads:
+            return False
+        link = _link_register(branch, branch_op)
+        if link is not None and link != 0:
+            if link in writes or _reads_any(candidate, cand_op, {link}):
+                return False
+        return True
+
+
+class OptimizingAssembler(Assembler):
+    """Assembler with the delay-slot filler enabled.
+
+    Statistics of the last assembly are exposed as
+    :attr:`slots_filled` / :attr:`slots_total`.
+    """
+
+    def __init__(self, base=0):
+        super().__init__(base=base)
+        self.slots_filled = 0
+        self.slots_total = 0
+
+    def assemble(self, source):
+        statements, labels_at, equs = self._parse(source)
+        # Anchor each label to its statement *object* so indices can be
+        # re-derived after the pass moves things around.
+        anchors = [
+            (label, statements[index] if index < len(statements) else None,
+             org)
+            for label, index, org in labels_at
+        ]
+        labeled_ids = {id(stmt) for _l, stmt, _o in anchors
+                       if stmt is not None}
+        filler = DelaySlotFiller()
+        statements = filler.run(statements, labeled_ids)
+        self.slots_filled = filler.filled
+        self.slots_total = filler.total_slots
+        position = {id(stmt): idx for idx, stmt in enumerate(statements)}
+        labels_at = [
+            (label,
+             position[id(stmt)] if stmt is not None else len(statements),
+             org)
+            for label, stmt, org in anchors
+        ]
+        labels = self._layout(statements, labels_at)
+        labels.update(equs)
+        return self._emit(statements, labels)
+
+
+def assemble_optimized(source, base=0):
+    """Assemble with delay-slot filling; returns the Program."""
+    return OptimizingAssembler(base=base).assemble(source)

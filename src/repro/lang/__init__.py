@@ -1,0 +1,9 @@
+"""Mul-T (the paper's extended Scheme, Section 2.2): reader, analyzer,
+APRIL code generator, compiler driver, and a reference interpreter for
+differential testing."""
+
+from repro.lang.compiler import CompiledProgram, compile_source
+from repro.lang.interp import interpret
+from repro.lang.run import run_mult
+
+__all__ = ["CompiledProgram", "compile_source", "interpret", "run_mult"]

@@ -1,0 +1,206 @@
+"""AST node types for the Mul-T core language.
+
+The analyzer (:mod:`repro.lang.analyzer`) turns reader forms into these
+nodes, resolving every variable reference to a *local slot*, a *closure
+capture index*, or a *top-level binding*, and computing each lambda's
+free variables so the code generator can build flat closures.
+"""
+
+
+class Node:
+    """Base AST node."""
+
+    __slots__ = ()
+
+
+class Const(Node):
+    """A literal: fixnum, boolean, or the empty list."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value  # int | True | False | () for nil
+
+    def __repr__(self):
+        return "Const(%r)" % (self.value,)
+
+
+class LocalRef(Node):
+    """A reference to the current function's local slot."""
+
+    __slots__ = ("name", "slot")
+
+    def __init__(self, name, slot):
+        self.name = name
+        self.slot = slot
+
+    def __repr__(self):
+        return "LocalRef(%s@%d)" % (self.name, self.slot)
+
+
+class CaptureRef(Node):
+    """A reference to a value captured in the current closure."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name, index):
+        self.name = name
+        self.index = index
+
+    def __repr__(self):
+        return "CaptureRef(%s@%d)" % (self.name, self.index)
+
+
+class GlobalRef(Node):
+    """A reference to a top-level definition."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "GlobalRef(%s)" % self.name
+
+
+class SetLocal(Node):
+    """``(set! local expr)``."""
+
+    __slots__ = ("name", "slot", "value")
+
+    def __init__(self, name, slot, value):
+        self.name = name
+        self.slot = slot
+        self.value = value
+
+
+class SetGlobal(Node):
+    """``(set! toplevel expr)``."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+
+class If(Node):
+    __slots__ = ("test", "then", "alt")
+
+    def __init__(self, test, then, alt):
+        self.test = test
+        self.then = then
+        self.alt = alt
+
+
+class Begin(Node):
+    __slots__ = ("body",)
+
+    def __init__(self, body):
+        self.body = body  # non-empty list of nodes
+
+
+class Let(Node):
+    """``(let ((x e) ...) body)`` with slots pre-assigned."""
+
+    __slots__ = ("bindings", "body")
+
+    def __init__(self, bindings, body):
+        self.bindings = bindings  # [(name, slot, init_node)]
+        self.body = body
+
+
+class Lambda(Node):
+    """A closure-converted function.
+
+    ``captures`` lists the *outer-scope* references whose values build
+    the closure record (each is a LocalRef/CaptureRef in the enclosing
+    function's terms).
+    """
+
+    __slots__ = ("name", "params", "nlocals", "body", "captures", "label")
+
+    def __init__(self, name, params, nlocals, body, captures, label):
+        self.name = name
+        self.params = params        # [str]
+        self.nlocals = nlocals      # total local slots (params + lets)
+        self.body = body
+        self.captures = captures    # [Node] evaluated in the outer scope
+        self.label = label          # assembly label
+
+
+class Call(Node):
+    """A function call; ``target`` is a node or a known global label."""
+
+    __slots__ = ("func", "args", "tail", "direct_label", "self_tail")
+
+    def __init__(self, func, args, tail=False, direct_label=None,
+                 self_tail=False):
+        self.func = func            # node (None when direct_label set)
+        self.args = args
+        self.tail = tail
+        self.direct_label = direct_label
+        self.self_tail = self_tail  # self-recursive tail call (loop)
+
+
+class PrimCall(Node):
+    """An inline primitive (``+``, ``car``, ``vector-ref``...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+
+class FutureExpr(Node):
+    """``(future E)`` / ``(future-on node E)``.
+
+    ``call`` is the Call node for the child when E is a direct call to
+    a known function (the thunk-free lazy path: evaluate the arguments,
+    push the marker, call inline — no closure allocated); otherwise
+    ``thunk`` is a zero-argument Lambda wrapping E.
+    """
+
+    __slots__ = ("thunk", "call", "node_expr")
+
+    def __init__(self, thunk=None, call=None, node_expr=None):
+        self.thunk = thunk          # zero-arg Lambda (eager / complex E)
+        self.call = call            # direct Call (lazy fast path)
+        self.node_expr = node_expr  # placement for future-on, or None
+
+
+class TouchExpr(Node):
+    """``(touch E)``: strict identity."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class Definition:
+    """One top-level ``(define ...)``."""
+
+    def __init__(self, name, lam=None, const=None):
+        self.name = name
+        self.lam = lam              # Lambda for function definitions
+        self.const = const          # Const for constant definitions
+
+    @property
+    def is_function(self):
+        return self.lam is not None
+
+
+class ProgramAST:
+    """All top-level definitions of a Mul-T program."""
+
+    def __init__(self, definitions, lambdas):
+        self.definitions = definitions    # [Definition]
+        self.lambdas = lambdas            # every Lambda (for codegen)
+
+    def lookup(self, name):
+        for definition in self.definitions:
+            if definition.name == name:
+                return definition
+        return None

@@ -1,0 +1,258 @@
+"""A reference Mul-T interpreter in Python.
+
+Used for differential testing: the compiled program running on the
+APRIL simulator must produce the same value this direct evaluator does.
+Futures are evaluated eagerly inline (sequential semantics — legal for
+deterministic programs, which all our workloads are).
+
+Mirrors the subset accepted by :mod:`repro.lang.analyzer`; it
+deliberately shares no code with the compiler so a bug in one is caught
+by the other.
+"""
+
+from repro.errors import CompilerError
+from repro.lang import reader
+
+NIL = ()
+
+
+class _Closure:
+    def __init__(self, params, body, env, name="anon"):
+        self.params = params
+        self.body = body
+        self.env = env
+        self.name = name
+
+
+class _Env:
+    def __init__(self, parent=None):
+        self.vars = {}
+        self.parent = parent
+
+    def lookup(self, name):
+        env = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise CompilerError("unbound variable %s" % name)
+
+    def set(self, name, value):
+        env = self
+        while env is not None:
+            if name in env.vars:
+                env.vars[name] = value
+                return
+            env = env.parent
+        raise CompilerError("set! of unbound %s" % name)
+
+
+def _truthy(value):
+    return not (value is False or value == NIL)
+
+
+class Interpreter:
+    """Evaluates Mul-T programs directly."""
+
+    def __init__(self):
+        self.globals = _Env()
+        self.output = []
+
+    def load(self, source):
+        for form in reader.read_program(source):
+            if not (isinstance(form, list) and form and form[0] == "define"):
+                raise CompilerError("top level allows only define", form)
+            target = form[1]
+            if isinstance(target, list):
+                closure = _Closure(target[1:], form[2:], self.globals,
+                                   name=target[0])
+                self.globals.vars[target[0]] = closure
+            else:
+                self.globals.vars[target] = self._eval(form[2], self.globals)
+
+    def call(self, name, *args):
+        closure = self.globals.lookup(name)
+        return self._apply(closure, list(args))
+
+    def _apply(self, closure, args):
+        if not isinstance(closure, _Closure):
+            raise CompilerError("calling a non-function: %r" % (closure,))
+        if len(args) != len(closure.params):
+            raise CompilerError(
+                "%s expects %d args, got %d"
+                % (closure.name, len(closure.params), len(args)))
+        env = _Env(closure.env)
+        env.vars.update(zip(closure.params, args))
+        result = NIL
+        for form in closure.body:
+            result = self._eval(form, env)
+        return result
+
+    def _eval(self, form, env):
+        if isinstance(form, bool) or isinstance(form, int):
+            return form
+        if isinstance(form, str):
+            return env.lookup(form)
+        if not isinstance(form, list) or not form:
+            raise CompilerError("cannot evaluate", form)
+        head = form[0]
+        if head == "quote":
+            datum = form[1]
+            if datum == [] or datum == "nil":
+                return NIL
+            if isinstance(datum, (bool, int)):
+                return datum
+            raise CompilerError("only atomic quotation", form)
+        if head == "if":
+            if _truthy(self._eval(form[1], env)):
+                return self._eval(form[2], env)
+            return self._eval(form[3], env) if len(form) == 4 else False
+        if head == "begin":
+            result = NIL
+            for sub in form[1:]:
+                result = self._eval(sub, env)
+            return result
+        if head == "let":
+            inner = _Env(env)
+            for name, init in form[1]:
+                inner.vars[name] = self._eval(init, env)
+            result = NIL
+            for sub in form[2:]:
+                result = self._eval(sub, inner)
+            return result
+        if head == "let*":
+            inner = env
+            for name, init in form[1]:
+                new = _Env(inner)
+                new.vars[name] = self._eval(init, inner)
+                inner = new
+            result = NIL
+            for sub in form[2:]:
+                result = self._eval(sub, inner)
+            return result
+        if head == "cond":
+            for clause in form[1:]:
+                if clause[0] == "else" or _truthy(self._eval(clause[0], env)):
+                    result = NIL
+                    for sub in clause[1:]:
+                        result = self._eval(sub, env)
+                    return result
+            return False
+        if head == "and":
+            result = True
+            for sub in form[1:]:
+                result = self._eval(sub, env)
+                if not _truthy(result):
+                    return result
+            return result
+        if head == "or":
+            for sub in form[1:]:
+                result = self._eval(sub, env)
+                if _truthy(result):
+                    return result
+            return False
+        if head == "when":
+            if _truthy(self._eval(form[1], env)):
+                return self._eval(["begin"] + form[2:], env)
+            return False
+        if head == "unless":
+            if not _truthy(self._eval(form[1], env)):
+                return self._eval(["begin"] + form[2:], env)
+            return False
+        if head == "set!":
+            env.set(form[1], self._eval(form[2], env))
+            return NIL
+        if head == "lambda":
+            return _Closure(form[1], form[2:], env)
+        if head in ("future", "touch"):
+            return self._eval(form[1], env)
+        if head == "future-on":
+            self._eval(form[1], env)  # placement has no semantic effect
+            return self._eval(form[2], env)
+        if isinstance(head, str) and head in _PRIMS \
+                and not self._shadowed(head, env):
+            args = [self._eval(sub, env) for sub in form[1:]]
+            return _PRIMS[head](self, args)
+        func = self._eval(head, env)
+        args = [self._eval(sub, env) for sub in form[1:]]
+        return self._apply(func, args)
+
+    def _shadowed(self, name, env):
+        walk = env
+        while walk is not None:
+            if name in walk.vars:
+                return True
+            walk = walk.parent
+        return False
+
+
+class _Pair:
+    __slots__ = ("car", "cdr")
+
+    def __init__(self, car, cdr):
+        self.car = car
+        self.cdr = cdr
+
+
+def _to_list(value):
+    """Convert a pair chain to a Python list for comparisons."""
+    items = []
+    while isinstance(value, _Pair):
+        items.append(_to_list(value.car) if isinstance(value.car, _Pair)
+                     else value.car)
+        value = value.cdr
+    return items
+
+
+def _fold(op, args):
+    result = args[0]
+    for arg in args[1:]:
+        result = op(result, arg)
+    return result
+
+
+def _quotient(a, b):
+    return int(a / b)
+
+
+_PRIMS = {
+    "+": lambda interp, a: _fold(lambda x, y: x + y, a),
+    "-": lambda interp, a: -a[0] if len(a) == 1 else _fold(
+        lambda x, y: x - y, a),
+    "*": lambda interp, a: _fold(lambda x, y: x * y, a),
+    "quotient": lambda interp, a: _quotient(a[0], a[1]),
+    "remainder": lambda interp, a: a[0] - _quotient(a[0], a[1]) * a[1],
+    "<": lambda interp, a: a[0] < a[1],
+    ">": lambda interp, a: a[0] > a[1],
+    "<=": lambda interp, a: a[0] <= a[1],
+    ">=": lambda interp, a: a[0] >= a[1],
+    "=": lambda interp, a: a[0] == a[1],
+    "eq?": lambda interp, a: a[0] is a[1] or a[0] == a[1],
+    "zero?": lambda interp, a: a[0] == 0,
+    "null?": lambda interp, a: a[0] == NIL,
+    "pair?": lambda interp, a: isinstance(a[0], _Pair),
+    "not": lambda interp, a: not _truthy(a[0]),
+    "cons": lambda interp, a: _Pair(a[0], a[1]),
+    "car": lambda interp, a: a[0].car,
+    "cdr": lambda interp, a: a[0].cdr,
+    "set-car!": lambda interp, a: setattr(a[0], "car", a[1]),
+    "set-cdr!": lambda interp, a: setattr(a[0], "cdr", a[1]),
+    "vector-ref": lambda interp, a: a[0][a[1]],
+    "vector-set!": lambda interp, a: a[0].__setitem__(a[1], a[2]),
+    "vector-length": lambda interp, a: len(a[0]),
+    "make-vector": lambda interp, a: [a[1] if len(a) > 1 else 0] * a[0],
+    "print": lambda interp, a: interp.output.append(
+        _to_list(a[0]) if isinstance(a[0], _Pair) else a[0]),
+}
+
+
+def interpret(source, entry="main", args=(), prelude=None):
+    """Load + run a program; returns (result, output list)."""
+    from repro.lang.compiler import PRELUDE
+    interp = Interpreter()
+    interp.load(PRELUDE if prelude is None else prelude)
+    interp.load(source)
+    result = interp.call(entry, *args)
+    if isinstance(result, _Pair):
+        result = _to_list(result)
+    return result, interp.output

@@ -1,0 +1,110 @@
+"""S-expression reader for Mul-T (the paper's extended Scheme).
+
+Produces plain Python data: lists for forms, ``int`` for numeric
+literals, ``str`` for symbols, ``True``/``False`` for ``#t``/``#f``.
+``'x`` reads as ``["quote", "x"]``.
+"""
+
+from repro.errors import CompilerError
+
+
+class _TokenStream:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise CompilerError("unexpected end of input")
+        self.index += 1
+        return token
+
+
+def tokenize(text):
+    """Split source text into tokens; ``;`` comments run to end of line."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch.isspace():
+            i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        elif ch == "'":
+            tokens.append("'")
+            i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "();'":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _atom(token):
+    if token == "#t":
+        return True
+    if token == "#f":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _read_form(stream):
+    token = stream.next()
+    if token == "(":
+        form = []
+        while True:
+            nxt = stream.peek()
+            if nxt is None:
+                raise CompilerError("unbalanced parenthesis")
+            if nxt == ")":
+                stream.next()
+                return form
+            form.append(_read_form(stream))
+    if token == ")":
+        raise CompilerError("unexpected ')'")
+    if token == "'":
+        return ["quote", _read_form(stream)]
+    return _atom(token)
+
+
+def read(text):
+    """Read one form from source text."""
+    stream = _TokenStream(tokenize(text))
+    form = _read_form(stream)
+    if stream.peek() is not None:
+        raise CompilerError("trailing input after form: %r" % stream.peek())
+    return form
+
+
+def read_program(text):
+    """Read all top-level forms from source text."""
+    stream = _TokenStream(tokenize(text))
+    forms = []
+    while stream.peek() is not None:
+        forms.append(_read_form(stream))
+    return forms
+
+
+def write(form):
+    """Render a form back to source text (for error messages)."""
+    if form is True:
+        return "#t"
+    if form is False:
+        return "#f"
+    if isinstance(form, list):
+        return "(" + " ".join(write(f) for f in form) + ")"
+    return str(form)

@@ -1,0 +1,26 @@
+"""Convenience entry point: compile and run Mul-T on a simulated machine."""
+
+from repro.lang.compiler import compile_source
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+
+
+def run_mult(source, mode="eager", processors=1, software_checks=False,
+             config=None, entry="main", args=(), max_cycles=200_000_000,
+             optimize=False):
+    """Compile ``source`` and run its ``entry`` function.
+
+    Returns the :class:`~repro.machine.alewife.MachineResult`; its
+    ``value`` field holds the decoded Python value of the result and
+    ``cycles`` the simulated run time.
+    """
+    compiled = compile_source(source, mode=mode,
+                              software_checks=software_checks,
+                              optimize=optimize)
+    if config is None:
+        config = MachineConfig(num_processors=processors)
+    if config.lazy_futures != compiled.wants_lazy_scheduling:
+        config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
+    machine = AlewifeMachine(compiled.program, config)
+    return machine.run(entry=compiled.entry_label(entry), args=args,
+                       max_cycles=max_cycles)

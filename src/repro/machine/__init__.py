@@ -1,0 +1,10 @@
+"""Whole-machine simulation: the ALEWIFE machine driver, configuration,
+statistics, and the execution tracer."""
+
+from repro.machine.alewife import AlewifeMachine, MachineResult, run_program
+from repro.machine.config import MachineConfig
+from repro.machine.stats import MachineStats
+from repro.machine.trace import Tracer
+
+__all__ = ["AlewifeMachine", "MachineConfig", "MachineResult",
+           "MachineStats", "Tracer", "run_program"]

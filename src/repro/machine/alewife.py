@@ -1,0 +1,135 @@
+"""The ALEWIFE machine simulator (paper Sections 2 and 7, Figure 4).
+
+Ties processors, memory system, and run-time system together and runs
+the whole machine with an event-driven loop: the processor with the
+smallest local clock executes next, so inter-processor interleavings
+respect simulated time without a global lock-step sweep.
+
+Two memory modes (matching the paper's methodology):
+
+* ``ideal`` — one shared single-cycle memory, no caches or network:
+  the configuration of the Table 3 multiprocessor measurements
+  ("simulating a shared-memory machine with no memory latency").
+* ``coherent`` — per-node caches kept coherent by a directory protocol
+  over a k-ary n-cube network; remote misses trap the processor into
+  the switch-spin handler (the full ALEWIFE configuration).
+"""
+
+import heapq
+
+from repro.core.processor import Processor
+from repro.errors import SimulationError
+from repro.isa.encoding import DecodeCache
+from repro.machine.config import MachineConfig
+from repro.machine.stats import MachineStats
+from repro.mem.ideal import IdealMemoryPort
+from repro.mem.memory import Memory
+from repro.runtime.rts import RuntimeSystem
+
+
+class MachineResult:
+    """Outcome of one machine run."""
+
+    def __init__(self, machine, result_word):
+        self.result_word = result_word
+        self.value = machine.runtime.decode_value(result_word)
+        self.cycles = machine.time
+        self.stats = MachineStats(machine)
+        self.output = list(machine.runtime.output)
+
+    def __repr__(self):
+        return "MachineResult(value=%r, cycles=%d)" % (self.value, self.cycles)
+
+
+class AlewifeMachine:
+    """An N-node ALEWIFE machine executing one loaded program."""
+
+    def __init__(self, program, config=None):
+        self.config = config or MachineConfig()
+        self.program = program
+        self.memory = Memory(self.config.memory_words)
+        self.memory.load_program(program)
+        self.time = 0
+        decoder = DecodeCache()
+
+        self.cpus = []
+        self._build_memory_system(decoder)
+        self.runtime = RuntimeSystem(
+            self.config, self.memory, self.cpus, program)
+
+    def _build_memory_system(self, decoder):
+        config = self.config
+        if config.memory_mode == "ideal":
+            port = IdealMemoryPort(self.memory, latency=config.memory_latency)
+            for node in range(config.num_processors):
+                cpu = Processor(node_id=node, port=port,
+                                num_frames=config.num_task_frames,
+                                decoder=decoder)
+                cpu.trap_squash_cycles = config.trap_squash_cycles
+                self.cpus.append(cpu)
+            self.fabric = None
+        else:
+            # Full cache + directory + network system.
+            from repro.mem.system import CoherentMemorySystem
+            self.fabric = CoherentMemorySystem(self, decoder)
+            self.cpus = self.fabric.cpus
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, entry="main", args=(), max_cycles=200_000_000):
+        """Run ``entry`` on the machine; returns a :class:`MachineResult`.
+
+        Raises :class:`SimulationError` on deadlock or cycle exhaustion.
+        """
+        runtime = self.runtime
+        runtime.spawn_main(entry, args)
+
+        # Event queue of (local clock, sequence, cpu index); the
+        # sequence breaks ties deterministically.
+        queue = []
+        seq = 0
+        for index, cpu in enumerate(self.cpus):
+            heapq.heappush(queue, (cpu.cycles, seq, index))
+            seq += 1
+
+        idle_streak = 0
+        while not runtime.done:
+            when, _, index = heapq.heappop(queue)
+            cpu = self.cpus[index]
+            self.time = max(self.time, when)
+            if self.time > max_cycles:
+                raise SimulationError(
+                    "cycle limit %d exceeded (deadlock or undersized limit)"
+                    % max_cycles)
+
+            if self.fabric is not None:
+                self.fabric.advance_to(self.time)
+
+            if runtime.has_work(cpu):
+                cpu.step()
+                idle_streak = 0
+            else:
+                found = runtime.on_idle(cpu)
+                if found:
+                    idle_streak = 0
+                else:
+                    idle_streak += 1
+                    if idle_streak > 4 * len(self.cpus):
+                        runtime.check_deadlock()
+
+            heapq.heappush(queue, (cpu.cycles, seq, index))
+            seq += 1
+
+        self.time = max(self.time, max(cpu.cycles for cpu in self.cpus))
+        return MachineResult(self, runtime.result)
+
+    def stats(self):
+        """Current :class:`MachineStats` snapshot."""
+        return MachineStats(self)
+
+
+def run_program(program, config=None, entry="main", args=(),
+                max_cycles=200_000_000):
+    """Build a machine, run a program, return the :class:`MachineResult`."""
+    machine = AlewifeMachine(program, config)
+    return machine.run(entry=entry, args=args, max_cycles=max_cycles)

@@ -1,0 +1,62 @@
+"""Machine-wide statistics aggregation and reporting.
+
+Aggregates the per-processor cycle categories into the quantities the
+paper reports: processor utilization (Figure 5's bands), context-switch
+counts, future/touch counts, and task-creation statistics (Table 3's
+overheads come from total run cycles).
+"""
+
+
+class MachineStats:
+    """A snapshot of a finished (or running) machine simulation."""
+
+    def __init__(self, machine):
+        runtime = machine.runtime
+        self.num_processors = len(machine.cpus)
+        self.run_cycles = machine.time
+        self.per_cpu = [cpu.stats.snapshot() for cpu in machine.cpus]
+        self.instructions = sum(s["instructions"] for s in self.per_cpu)
+        self.context_switches = sum(
+            s["context_switches"] for s in self.per_cpu)
+        self.useful_cycles = sum(s["useful"] for s in self.per_cpu)
+        self.overhead_cycles = sum(
+            s["trap"] + s["switch"] + s["spin"] for s in self.per_cpu)
+        self.stall_cycles = sum(s["stall"] for s in self.per_cpu)
+        self.idle_cycles = sum(s["idle"] for s in self.per_cpu)
+        self.futures_created = runtime.futures.created
+        self.futures_resolved = runtime.futures.resolved
+        self.touches_resolved = runtime.futures.touches_resolved
+        self.touches_unresolved = runtime.futures.touches_unresolved
+        self.lazy_pushed = runtime.lazy_pushed
+        self.lazy_stolen = runtime.lazy_stolen
+        self.thread_loads = runtime.scheduler.loads
+        self.thread_unloads = runtime.scheduler.unloads
+        self.threads_created = len(runtime.threads)
+
+    @property
+    def utilization(self):
+        """Machine-wide processor utilization: useful / (P x T)."""
+        denominator = self.num_processors * self.run_cycles
+        return self.useful_cycles / denominator if denominator else 0.0
+
+    @property
+    def system_power(self):
+        """The paper's 'system power': processors x utilization."""
+        return self.num_processors * self.utilization
+
+    def render(self):
+        """A human-readable multi-line report."""
+        lines = [
+            "processors          %12d" % self.num_processors,
+            "run cycles          %12d" % self.run_cycles,
+            "instructions        %12d" % self.instructions,
+            "utilization         %12.3f" % self.utilization,
+            "context switches    %12d" % self.context_switches,
+            "threads created     %12d" % self.threads_created,
+            "futures created     %12d" % self.futures_created,
+            "touches (hit/wait)  %7d/%4d" % (
+                self.touches_resolved, self.touches_unresolved),
+            "lazy (pushed/stolen)%7d/%4d" % (self.lazy_pushed, self.lazy_stolen),
+            "thread loads/unloads%7d/%4d" % (self.thread_loads, self.thread_unloads),
+        ]
+        return "\n".join(lines)

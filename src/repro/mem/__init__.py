@@ -1,0 +1,11 @@
+"""The ALEWIFE memory system (paper Section 2): word memory with
+full/empty bits, per-node caches, the full-map directory protocol, and
+the cache/directory controller."""
+
+from repro.mem.cache import Cache, LineState
+from repro.mem.directory import Directory, DirState
+from repro.mem.ideal import IdealMemoryPort
+from repro.mem.memory import Memory
+
+__all__ = ["Cache", "Directory", "DirState", "IdealMemoryPort",
+           "LineState", "Memory"]

@@ -1,0 +1,171 @@
+"""Per-node processor cache (paper Sections 2.1, 3.4).
+
+A set-associative cache holding coherence *state* (the MSI lattice) and
+tags with LRU replacement.  Data always lives in the shared
+:class:`~repro.mem.memory.Memory` — the directory protocol's
+single-writer invariant makes memory the correct value source at every
+instant, so the cache governs **timing** (hit vs. miss, local vs.
+remote) while the memory governs **values** (including full/empty
+bits).  See DESIGN.md: this is the standard "timing-first" simulator
+factorization.
+
+Also implements the Section 3.4 mechanisms that live cache-side:
+``FLUSH`` (software write-back + invalidate) and the per-context
+*fence counter*, incremented per dirty flush and decremented as the
+(simulated) write-back acknowledgments arrive, readable through LDIO.
+"""
+
+import enum
+
+from repro.errors import ConfigError
+
+
+class LineState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+class CacheLine:
+    __slots__ = ("tag", "state", "last_used")
+
+    def __init__(self):
+        self.tag = None
+        self.state = LineState.INVALID
+        self.last_used = 0
+
+
+class CacheStats:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations_received = 0
+        self.flushes = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """State/tag array of one node's cache."""
+
+    def __init__(self, size_bytes=64 * 1024, block_bytes=16, assoc=4):
+        if size_bytes % (block_bytes * assoc):
+            raise ConfigError("cache geometry does not divide evenly")
+        if block_bytes & (block_bytes - 1):
+            raise ConfigError("block size must be a power of two")
+        self.block_bytes = block_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (block_bytes * assoc)
+        self._sets = [[CacheLine() for _ in range(assoc)]
+                      for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+        # Fence counters, one per hardware context (Section 3.4).
+        self.fence_counters = {}
+
+    def block_address(self, address):
+        """The block-aligned address containing a byte address."""
+        return address & ~(self.block_bytes - 1)
+
+    def _locate(self, address):
+        block = self.block_address(address)
+        set_index = (block // self.block_bytes) % self.num_sets
+        return self._sets[set_index], block
+
+    def lookup(self, address):
+        """The line holding this address if present and valid."""
+        lines, block = self._locate(address)
+        self._clock += 1
+        for line in lines:
+            if line.tag == block and line.state is not LineState.INVALID:
+                line.last_used = self._clock
+                return line
+        return None
+
+    def probe(self, address):
+        """Like lookup but without touching LRU (for the directory)."""
+        lines, block = self._locate(address)
+        for line in lines:
+            if line.tag == block and line.state is not LineState.INVALID:
+                return line
+        return None
+
+    def install(self, address, state):
+        """Fill a line (evicting LRU if needed); returns the victim's
+        ``(tag, state)`` when a valid line was displaced, else None."""
+        lines, block = self._locate(address)
+        self._clock += 1
+        victim = None
+        for line in lines:
+            if line.state is LineState.INVALID or line.tag == block:
+                victim = line
+                break
+        if victim is None:
+            victim = min(lines, key=lambda l: l.last_used)
+        displaced = None
+        if victim.state is not LineState.INVALID and victim.tag != block:
+            displaced = (victim.tag, victim.state)
+            self.stats.evictions += 1
+        victim.tag = block
+        victim.state = state
+        victim.last_used = self._clock
+        return displaced
+
+    def invalidate(self, address):
+        """Drop the line (coherence invalidation); returns its old state."""
+        line = self.probe(address)
+        if line is None:
+            return LineState.INVALID
+        old = line.state
+        line.state = LineState.INVALID
+        self.stats.invalidations_received += 1
+        return old
+
+    def downgrade(self, address):
+        """M -> S (another reader appeared); returns True if it was M."""
+        line = self.probe(address)
+        if line is not None and line.state is LineState.MODIFIED:
+            line.state = LineState.SHARED
+            return True
+        return False
+
+    def flush(self, address, context=0):
+        """FLUSH: write back + invalidate; bumps the fence counter for
+        dirty lines (decremented when the ack 'arrives' — the caller
+        schedules that)."""
+        line = self.probe(address)
+        self.stats.flushes += 1
+        if line is None:
+            return False
+        dirty = line.state is LineState.MODIFIED
+        line.state = LineState.INVALID
+        if dirty:
+            self.fence_counters[context] = (
+                self.fence_counters.get(context, 0) + 1)
+        return dirty
+
+    def fence_ack(self, context=0):
+        """A write-back acknowledgment arrived for a context."""
+        current = self.fence_counters.get(context, 0)
+        if current > 0:
+            self.fence_counters[context] = current - 1
+
+    def fence_count(self, context=0):
+        """Outstanding write-backs (the LDIO-readable fence counter)."""
+        return self.fence_counters.get(context, 0)
+
+    def contents(self):
+        """All valid (block, state) pairs — for invariant checking."""
+        result = {}
+        for lines in self._sets:
+            for line in lines:
+                if line.state is not LineState.INVALID:
+                    result[line.tag] = line.state
+        return result

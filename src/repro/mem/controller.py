@@ -1,0 +1,294 @@
+"""The cache/directory controller (paper Sections 2.1 and 5).
+
+One per node.  It answers the processor's memory port, maintains strong
+coherence through the home directories, and decides — per access flavor
+— whether to **hold** the processor (local misses, wait-flavors) or to
+**trap** it (remote misses, full/empty mismatches), the MHOLD/MEXC
+split of Section 5.
+
+Transaction timing is computed at issue: the controller walks the
+protocol legs (request to home, owner fetch, invalidation round trips,
+response) over the contention-modeling network and obtains the
+completion time; a trapped processor that switch-spins back before then
+simply traps again — exactly the paper's switch-spinning behavior.
+Directory state is updated at issue, which serializes protocol races at
+transaction granularity (the simulation event loop already serializes
+the issuing processors); see DESIGN.md.
+
+Values live in shared memory (see :mod:`repro.mem.cache`); full/empty
+semantics are applied at the memory on every completed access, so
+synchronization behavior is identical to the ideal-mode port.
+"""
+
+from repro.core.memport import MemOutcome, MemoryPort
+from repro.core.traps import TrapKind
+from repro.errors import SimulationError
+from repro.mem.cache import LineState
+
+#: Memory-mapped I/O register offsets (LDIO/STIO space).
+IO_BASE = 0xFFFF0000
+IO_FENCE = IO_BASE + 0x00        # read: outstanding write-backs
+IO_NODE_ID = IO_BASE + 0x04      # read: this node's id
+IO_IPI_TARGET = IO_BASE + 0x08   # write: target node for the next IPI
+IO_IPI_SEND = IO_BASE + 0x0C     # write: send IPI with this payload
+IO_BT_SRC = IO_BASE + 0x10       # write: block-transfer source
+IO_BT_DST = IO_BASE + 0x14       # write: block-transfer destination
+IO_BT_GO = IO_BASE + 0x18        # write: length in words; starts copy
+
+#: Message sizes in flits (header ~2, block data = words + header).
+REQUEST_FLITS = 2
+ACK_FLITS = 2
+
+
+class ControllerStats:
+    def __init__(self):
+        self.local_misses = 0
+        self.remote_misses = 0
+        self.write_upgrades = 0
+        self.holds = 0
+        self.traps = 0
+        self.block_transfers = 0
+        self.ipis_sent = 0
+
+
+class CacheController(MemoryPort):
+    """One node's cache + directory controller."""
+
+    def __init__(self, node_id, memory, cache, system):
+        self.node_id = node_id
+        self.memory = memory
+        self.cache = cache
+        self.system = system          # CoherentMemorySystem (peers, net)
+        self.pending = {}             # block -> completion time
+        self.stats = ControllerStats()
+        self._fence_acks = []         # (ack time, context id)
+        self._ipi_target = 0
+        self._bt_src = 0
+        self._bt_dst = 0
+
+    # -- address geometry ---------------------------------------------------
+
+    def _block(self, address):
+        return self.cache.block_address(address)
+
+    def _home(self, block):
+        return self.system.home_of(block)
+
+    def _data_flits(self):
+        return 1 + self.cache.block_bytes // 4
+
+    def _now(self, context):
+        return context.cycles if context is not None else 0
+
+    # -- MemoryPort interface -------------------------------------------------
+
+    def fetch(self, address):
+        # Perfect instruction cache (see DESIGN.md).
+        return self.memory.read_word(address)
+
+    def load(self, address, flavor, context=None):
+        outcome = self._access(address, context, is_write=False,
+                               wait=flavor.wait_on_miss or flavor.raw)
+        if outcome is not None:
+            return outcome
+        value, was_full, trap_kind = self.memory.sync_load(address, flavor)
+        if trap_kind is not None:
+            return MemOutcome.trap(trap_kind, cycles=1, fe_full=was_full)
+        return MemOutcome.hit(value=value, cycles=self._last_cycles,
+                              fe_full=was_full)
+
+    def store(self, address, value, flavor, context=None):
+        outcome = self._access(address, context, is_write=True,
+                               wait=flavor.wait_on_miss or flavor.raw)
+        if outcome is not None:
+            return outcome
+        was_full, trap_kind = self.memory.sync_store(address, value, flavor)
+        if trap_kind is not None:
+            return MemOutcome.trap(trap_kind, cycles=1, fe_full=was_full)
+        return MemOutcome.hit(cycles=self._last_cycles, fe_full=was_full)
+
+    # -- the coherence walk ------------------------------------------------------
+
+    def _access(self, address, context, is_write, wait):
+        """Bring the block into the right state.
+
+        Returns ``None`` on success, setting ``_last_cycles`` to the
+        access cost; returns a trap outcome when the controller chose
+        to trap the processor instead (the MEXC path).
+        """
+        now = self._now(context)
+        block = self._block(address)
+        line = self.cache.lookup(address)
+
+        if line is not None:
+            if not is_write or line.state is LineState.MODIFIED:
+                self.cache.stats.hits += 1
+                self._last_cycles = 1
+                return None
+            # Write hit on a shared line: upgrade (invalidate peers).
+            self.stats.write_upgrades += 1
+
+        if block not in self.pending:
+            self.cache.stats.misses += 1
+
+        completion = self.pending.get(block)
+        if completion is None:
+            completion, local = self._start_transaction(
+                block, is_write, now)
+            if local:
+                # Local miss: the controller holds the processor (MHOLD).
+                self.stats.local_misses += 1
+                self.stats.holds += 1
+                self._fill(block, is_write)
+                self._last_cycles = max(completion - now, 1)
+                return None
+            self.stats.remote_misses += 1
+            self.pending[block] = completion
+
+        if now >= completion:
+            del self.pending[block]
+            self._fill(block, is_write)
+            self._last_cycles = 1
+            return None
+
+        if wait:
+            # Wait-flavor: hold the processor until the data arrives.
+            del self.pending[block]
+            self._fill(block, is_write)
+            self.stats.holds += 1
+            self._last_cycles = max(completion - now, 1)
+            return None
+
+        # Trap the processor (MEXC): it will switch-spin and retry.
+        self.stats.traps += 1
+        return MemOutcome.trap(TrapKind.CACHE_MISS, cycles=1,
+                               detail="block %#x ready at %d" % (
+                                   block, completion))
+
+    def _start_transaction(self, block, is_write, now):
+        """Walk the protocol legs; returns (completion time, was_local).
+
+        Directory state and peer cache states update immediately; the
+        returned time reflects request, directory/memory service, owner
+        fetch, invalidation acknowledgments, and the data response,
+        each over the contended network.
+        """
+        system = self.system
+        network = system.network
+        home = self._home(block)
+        directory = system.directories[home]
+        data_flits = self._data_flits()
+        memory_cycles = system.memory_latency
+
+        arrive = network.send(self.node_id, home, REQUEST_FLITS, now)
+        ready = arrive + memory_cycles
+        remote_legs = home != self.node_id
+
+        if is_write:
+            invalidees, fetch_from = directory.handle_write(
+                block, self.node_id)
+            acks_done = ready
+            for victim in invalidees:
+                system.caches[victim].invalidate(block)
+                ack = network.round_trip(
+                    home, victim, REQUEST_FLITS, ACK_FLITS, ready)
+                acks_done = max(acks_done, ack)
+                remote_legs = remote_legs or victim != self.node_id
+            if fetch_from is not None and fetch_from != self.node_id:
+                fetched = network.round_trip(
+                    home, fetch_from, REQUEST_FLITS, data_flits, ready)
+                acks_done = max(acks_done, fetched)
+                remote_legs = True
+            ready = acks_done
+        else:
+            fetch_from = directory.handle_read(block, self.node_id)
+            if fetch_from is not None and fetch_from != self.node_id:
+                system.caches[fetch_from].downgrade(block)
+                ready = network.round_trip(
+                    home, fetch_from, REQUEST_FLITS, data_flits, ready)
+                remote_legs = True
+
+        done = network.send(home, self.node_id, data_flits, ready)
+        return done, not remote_legs
+
+    def _fill(self, block, is_write):
+        """Install the granted line, notifying the home of any victim."""
+        state = LineState.MODIFIED if is_write else LineState.SHARED
+        displaced = self.cache.install(block, state)
+        if displaced is not None:
+            victim_block, victim_state = displaced
+            home = self._home(victim_block)
+            self.system.directories[home].handle_eviction(
+                victim_block, self.node_id,
+                victim_state is LineState.MODIFIED)
+
+    # -- out-of-band mechanisms (Section 3.4) --------------------------------------
+
+    def flush(self, address, context=None):
+        """FLUSH: write back + invalidate; dirty flushes raise the fence
+        counter until the (simulated) home acknowledgment lands."""
+        now = self._now(context)
+        block = self._block(address)
+        ctx = context.fp if context is not None else 0
+        dirty = self.cache.flush(address, context=ctx)
+        home = self._home(block)
+        self.system.directories[home].handle_eviction(
+            block, self.node_id, dirty)
+        if dirty:
+            ack = self.system.network.round_trip(
+                self.node_id, home, self._data_flits(), ACK_FLITS, now)
+            self._fence_acks.append((ack, ctx))
+        return MemOutcome.hit(cycles=2)
+
+    def ldio(self, address, context=None):
+        now = self._now(context)
+        ctx = context.fp if context is not None else 0
+        if address == IO_FENCE:
+            self._drain_fence_acks(now)
+            return MemOutcome.hit(value=self.cache.fence_count(ctx),
+                                  cycles=1)
+        if address == IO_NODE_ID:
+            return MemOutcome.hit(value=self.node_id, cycles=1)
+        raise SimulationError("LDIO of unmapped register %#x" % address)
+
+    def stio(self, address, value, context=None):
+        now = self._now(context)
+        if address == IO_IPI_TARGET:
+            self._ipi_target = value % len(self.system.cpus)
+            return MemOutcome.hit(cycles=1)
+        if address == IO_IPI_SEND:
+            latency = self.system.network.send(
+                self.node_id, self._ipi_target, REQUEST_FLITS, now) - now
+            self.system.cpus[self._ipi_target].post_ipi(value)
+            self.stats.ipis_sent += 1
+            return MemOutcome.hit(cycles=max(latency // 4, 1))
+        if address == IO_BT_SRC:
+            self._bt_src = value
+            return MemOutcome.hit(cycles=1)
+        if address == IO_BT_DST:
+            self._bt_dst = value
+            return MemOutcome.hit(cycles=1)
+        if address == IO_BT_GO:
+            return self._block_transfer(value, now)
+        raise SimulationError("STIO to unmapped register %#x" % address)
+
+    def _block_transfer(self, length_words, now):
+        """Block transfer (Section 3.4): copy words through the network
+        at block granularity, far cheaper than per-word remote misses."""
+        for i in range(length_words):
+            word = self.memory.read_word(self._bt_src + 4 * i)
+            self.memory.write_word(self._bt_dst + 4 * i, word)
+        dst_home = self._home(self._bt_dst)
+        flits = REQUEST_FLITS + length_words
+        done = self.system.network.send(self.node_id, dst_home, flits, now)
+        self.stats.block_transfers += 1
+        return MemOutcome.hit(cycles=max(done - now, length_words))
+
+    def _drain_fence_acks(self, now):
+        remaining = []
+        for ack_time, ctx in self._fence_acks:
+            if ack_time <= now:
+                self.cache.fence_ack(ctx)
+            else:
+                remaining.append((ack_time, ctx))
+        self._fence_acks = remaining

@@ -1,0 +1,133 @@
+"""Simulated main memory with full/empty bits (paper Section 3.3).
+
+"Words in memory have a 32 bit data field, and have an additional
+synchronization bit called the full/empty bit."  A bit associated with
+each memory word indicates the state of the word: full or empty.  The
+load of an empty location or the store into a full location can trap
+the processor.
+
+Addresses are byte addresses; words live at multiples of 4.  The
+full/empty state of every word defaults to *full*, so ordinary data is
+unaffected; the run-time system allocates synchronization slots (future
+value cells, I-structure elements, lock words) in the empty state.
+
+The :meth:`Memory.sync_load` / :meth:`Memory.sync_store` helpers apply
+the Table 2 flavor semantics; both the ideal memory port and the full
+cache/directory controller are built on them so the synchronization
+behavior is identical in every machine mode.
+"""
+
+from repro.core.traps import TrapKind
+from repro.errors import MemoryError_
+from repro.isa.tags import WORD_MASK
+
+
+class Memory:
+    """A bank of 32-bit words, each with a full/empty bit.
+
+    Args:
+        size_words: capacity in words.
+        base: byte address of the first word (banks in a distributed
+            machine each cover a slice of the global address space).
+    """
+
+    def __init__(self, size_words, base=0):
+        if base % 4:
+            raise MemoryError_("memory base must be word aligned")
+        self.base = base
+        self.size_words = size_words
+        self._words = [0] * size_words
+        # full/empty bits: 1 = full (the default for ordinary data)
+        self._full = bytearray(b"\x01" * size_words)
+
+    @property
+    def limit(self):
+        """First byte address past this bank."""
+        return self.base + 4 * self.size_words
+
+    def _index(self, address):
+        if address % 4:
+            raise MemoryError_("misaligned word access: %#x" % address)
+        index = (address - self.base) >> 2
+        if not 0 <= index < self.size_words:
+            raise MemoryError_(
+                "address %#x outside bank [%#x, %#x)" % (address, self.base, self.limit)
+            )
+        return index
+
+    def contains(self, address):
+        """True if the byte address falls in this bank."""
+        return self.base <= address < self.limit and address % 4 == 0
+
+    # -- raw word access (no synchronization semantics) --------------------
+
+    def read_word(self, address):
+        """Read the 32-bit word at a byte address."""
+        return self._words[self._index(address)]
+
+    def write_word(self, address, value):
+        """Write the 32-bit word at a byte address."""
+        self._words[self._index(address)] = value & WORD_MASK
+
+    # -- full/empty bits ------------------------------------------------------
+
+    def is_full(self, address):
+        """State of the word's full/empty bit."""
+        return bool(self._full[self._index(address)])
+
+    def set_full(self, address, full):
+        """Set the word's full/empty bit."""
+        self._full[self._index(address)] = 1 if full else 0
+
+    # -- Table 2 semantics ------------------------------------------------------
+
+    def sync_load(self, address, flavor):
+        """Apply a load flavor at this word.
+
+        Returns ``(value, was_full, trap_kind)``.  When ``trap_kind`` is
+        not ``None`` the access did not complete (the word state is
+        untouched) and the caller must trap the processor.
+        """
+        index = self._index(address)
+        was_full = bool(self._full[index])
+        if flavor.raw:
+            return self._words[index], was_full, None
+        if flavor.trap_on_empty and not was_full:
+            return 0, was_full, TrapKind.EMPTY_LOAD
+        value = self._words[index]
+        if flavor.set_empty:
+            self._full[index] = 0
+        return value, was_full, None
+
+    def sync_store(self, address, value, flavor):
+        """Apply a store flavor at this word.
+
+        Returns ``(was_full, trap_kind)``; semantics mirror
+        :meth:`sync_load` (stores trap on *full* locations).
+        """
+        index = self._index(address)
+        was_full = bool(self._full[index])
+        if flavor.raw:
+            self._words[index] = value & WORD_MASK
+            if flavor.set_full:
+                self._full[index] = 1
+            return was_full, None
+        if flavor.trap_on_full and was_full:
+            return was_full, TrapKind.FULL_STORE
+        self._words[index] = value & WORD_MASK
+        if flavor.set_full:
+            self._full[index] = 1
+        return was_full, None
+
+    # -- program loading --------------------------------------------------------
+
+    def load_program(self, program):
+        """Copy an assembled :class:`~repro.isa.assembler.Program` in."""
+        address = program.base
+        for word in program.words:
+            self.write_word(address, word)
+            address += 4
+
+    def dump(self, address, count):
+        """Read ``count`` words starting at a byte address (debugging)."""
+        return [self.read_word(address + 4 * i) for i in range(count)]

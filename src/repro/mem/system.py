@@ -1,0 +1,69 @@
+"""The coherent memory system: all nodes' caches, directories, and the
+network, wired to the processors (the full ALEWIFE of Figure 1/4).
+
+Address-to-home interleaving is by block: block ``b`` is homed at node
+``(b / block_bytes) mod N``, spreading the directory and memory traffic
+evenly — the "distributed, globally-shared memory" of Section 2.
+"""
+
+from repro.core.processor import Processor
+from repro.mem.cache import Cache
+from repro.mem.controller import CacheController
+from repro.mem.directory import Directory
+from repro.net.network import Network
+from repro.net.topology import KAryNCube
+
+
+class CoherentMemorySystem:
+    """Builds and owns the per-node memory hierarchy."""
+
+    def __init__(self, machine, decoder):
+        config = machine.config
+        self.machine = machine
+        self.memory = machine.memory
+        self.memory_latency = config.coherent_memory_latency
+        self.block_bytes = config.cache_block_bytes
+
+        self.topology = KAryNCube.fitting(
+            config.num_processors, dim=config.network_dim)
+        self.network = Network(self.topology,
+                               hop_cycles=config.network_hop_cycles)
+
+        self.caches = []
+        self.directories = []
+        self.controllers = []
+        self.cpus = []
+        for node in range(config.num_processors):
+            cache = Cache(size_bytes=config.cache_bytes,
+                          block_bytes=config.cache_block_bytes,
+                          assoc=config.cache_assoc)
+            directory = Directory(node)
+            controller = CacheController(node, self.memory, cache, self)
+            cpu = Processor(node_id=node, port=controller,
+                            num_frames=config.num_task_frames,
+                            decoder=decoder)
+            cpu.trap_squash_cycles = config.trap_squash_cycles
+            self.caches.append(cache)
+            self.directories.append(directory)
+            self.controllers.append(controller)
+            self.cpus.append(cpu)
+
+    def home_of(self, block_address):
+        """The home node of a block (block-interleaved)."""
+        return (block_address // self.block_bytes) % len(self.cpus)
+
+    def advance_to(self, time):
+        """Hook for time-driven components (none: transactions compute
+        their completion at issue; see the controller docstring)."""
+
+    def check_coherence_invariants(self):
+        """Machine-wide single-writer check (tests and debugging)."""
+        for directory in self.directories:
+            directory.check_invariants(self.caches)
+
+    def aggregate_miss_rate(self):
+        """Data-access miss rate across all caches."""
+        hits = sum(c.stats.hits for c in self.caches)
+        misses = sum(c.stats.misses for c in self.caches)
+        total = hits + misses
+        return misses / total if total else 0.0

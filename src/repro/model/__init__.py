@@ -1,0 +1,7 @@
+"""The Section 8 analytical model: Equation 1 processor utilization,
+the m(p) cache and T(p) network component models, and Figure 5."""
+
+from repro.model.params import ModelParams
+from repro.model.utilization import solve, utilization, utilization_curve
+
+__all__ = ["ModelParams", "solve", "utilization", "utilization_curve"]

@@ -1,0 +1,43 @@
+"""The cache-miss-rate component m(p) (paper Section 8).
+
+"The fixed miss rate comprises first-time fetches of blocks into the
+cache, and the interference due to multiprocessor coherence
+invalidations."  On top of that, "the private working sets of multiple
+contexts interfere in the cache", adding a component that is linear in
+the number of resident threads p to first order (validated by
+simulation in [1]).
+
+The linear coefficient is the product of the working-set occupancy
+ratio (how much of the cache one more thread's working set displaces)
+and a reuse-rate coefficient calibrated once against the paper's
+operating point ("caches greater than 64 Kbytes comfortably sustain the
+working sets of four processes").
+"""
+
+
+def interference_slope(params):
+    """Per-extra-thread miss-rate increase (the linear coefficient)."""
+    occupancy = params.ws_blocks / params.cache_blocks
+    return params.cache_interference_coeff * occupancy
+
+
+def miss_rate(params, p):
+    """m(p): misses per useful cycle with p resident threads.
+
+    ``m(1)`` is the fixed miss rate; each additional thread adds the
+    working-set interference slope.  The rate saturates at 1 when the
+    aggregate working set overwhelms the cache (every reference misses).
+    """
+    if p < 1:
+        raise ValueError("need at least one thread")
+    rate = params.fixed_miss_rate + interference_slope(params) * (p - 1)
+    return min(rate, 1.0)
+
+
+def sustainable_threads(params, degradation=0.5):
+    """How many threads the cache sustains before m(p) grows by
+    ``degradation`` x the fixed rate (the Section 8 cache-size claim)."""
+    slope = interference_slope(params)
+    if slope == 0:
+        return float("inf")
+    return 1 + degradation * params.fixed_miss_rate / slope

@@ -1,0 +1,96 @@
+"""Regenerate Figure 5: utilization vs. resident threads, decomposed.
+
+The figure stacks, for each p, the bands between four curves:
+
+* **Ideal** — miss rate and network contention pinned at their
+  single-thread values, no context-switch cost cap beyond Eq. 1's
+  C term?  No: the ideal curve is Eq. 1 with m(1) and the unloaded
+  network ("the increase in processor utilization when both the cache
+  miss rate and network contention correspond to that of a single
+  process, and do not increase with the degree of multithreading p").
+* **Network effects** — contention on, interference off.
+* **Cache and network effects** — both on.
+* **Useful work** — both on (the same curve; the residual band below it
+  is the CS-overhead share that separates it from the cache+network
+  curve when C is charged vs. C=0).
+
+Concretely we emit, per p: U_ideal, U_net, U_cache_net_no_cs (C=0), and
+U_full; the plotted bands are the successive differences.
+"""
+
+from repro.model.params import ModelParams
+from repro.model.utilization import solve
+
+
+class Figure5Point:
+    """All Figure 5 curves at one thread count."""
+
+    def __init__(self, p, ideal, network, cache_network, useful):
+        self.p = p
+        self.ideal = ideal
+        self.network = network            # ideal minus network contention
+        self.cache_network = cache_network  # ... minus cache interference
+        self.useful = useful              # full model (with C)
+
+    @property
+    def band_network(self):
+        """Utilization lost to network contention."""
+        return max(self.ideal - self.network, 0.0)
+
+    @property
+    def band_cache(self):
+        """Additional loss from multi-thread cache interference."""
+        return max(self.network - self.cache_network, 0.0)
+
+    @property
+    def band_cs(self):
+        """Additional loss from context-switch overhead."""
+        return max(self.cache_network - self.useful, 0.0)
+
+
+def compute(params=None, max_threads=8, context_switch=None):
+    """Compute all Figure 5 series; returns ``[Figure5Point]``."""
+    params = params or ModelParams()
+    if context_switch is not None:
+        params = params.replace(context_switch=context_switch)
+    points = []
+    for p in range(1, max_threads + 1):
+        # The three upper curves exclude the context-switch cost; only
+        # the bottom (useful work) pays C.  The ideal curve therefore
+        # climbs to 1.0, as in the paper's figure.
+        ideal, _, _ = solve(params, p, vary_cache=False, vary_network=False,
+                            context_switch=0)
+        network, _, _ = solve(params, p, vary_cache=False, vary_network=True,
+                              context_switch=0)
+        cache_network, _, _ = solve(
+            params, p, vary_cache=True, vary_network=True, context_switch=0)
+        useful, _, _ = solve(params, p, vary_cache=True, vary_network=True)
+        points.append(Figure5Point(p, ideal, network, cache_network, useful))
+    return points
+
+
+def render(points):
+    """Text rendering of the Figure 5 data (stacked bands)."""
+    header = ("  p   useful  +CS ovh  +cache   +network  ideal")
+    lines = [header, "-" * len(header)]
+    for pt in points:
+        lines.append(
+            "%3d   %6.3f  %7.3f  %7.3f  %8.3f  %6.3f" % (
+                pt.p, pt.useful, pt.band_cs, pt.band_cache,
+                pt.band_network, pt.ideal))
+    return "\n".join(lines)
+
+
+def ascii_plot(points, width=60):
+    """A terminal bar plot of U(p) with the component bands."""
+    lines = ["Processor utilization vs resident threads "
+             "(#=useful, c=CS, $=cache, n=network)"]
+    for pt in points:
+        useful = int(round(pt.useful * width))
+        cs = int(round(pt.band_cs * width))
+        cache = int(round(pt.band_cache * width))
+        net = int(round(pt.band_network * width))
+        bar = "#" * useful + "c" * cs + "$" * cache + "n" * net
+        lines.append("p=%d |%-*s| U=%.2f" % (pt.p, width, bar[:width],
+                                             pt.useful))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""The network-latency component T(p) (paper Section 8).
+
+The unloaded round trip is ``2 * nk/3`` hop delays plus the memory
+access plus packet transmission — 55 cycles for the Table 4 defaults.
+Under load, each switch adds a queueing delay that grows with channel
+utilization: the classic k-ary n-cube contention model (Agarwal's
+network analysis, reference [1]'s companion), an M/D/1-style term
+
+    w(rho) = rho / (1 - rho) * (B - 1) / B        per hop,
+
+where ``rho`` is the channel utilization induced by the processors'
+miss traffic.  Each miss moves ``2 * hops * B * bandwidth_coeff``
+flit-hops (request + response + the coherence acknowledgments of the
+strong protocol), spread over the node's ``2n`` channels.
+
+Because traffic depends on how fast processors compute, and compute
+speed depends on latency, T(p) and U(p) form a fixed point — solved
+iteratively in :mod:`repro.model.utilization`.  This feedback is what
+caps utilization near 0.80: "when available network bandwidth is used
+up, adding more processes will not improve processor utilization."
+"""
+
+
+def channel_utilization(params, request_rate):
+    """rho: flit-hops demanded per channel per cycle.
+
+    ``request_rate`` is misses issued per node per cycle (U x m).
+    """
+    flit_hops = (request_rate * 2 * params.avg_hops * params.packet_size
+                 * params.bandwidth_coeff)
+    channels = 2 * params.network_dim
+    return flit_hops / channels
+
+
+def contention_delay(params, rho):
+    """Extra round-trip cycles due to switch queueing at load ``rho``."""
+    if rho >= 1.0:
+        return float("inf")
+    per_hop = (rho / (1.0 - rho)) * (params.packet_size - 1) / params.packet_size
+    return 2 * params.avg_hops * per_hop
+
+
+def latency(params, request_rate):
+    """T: round-trip latency at a given per-node request rate."""
+    rho = channel_utilization(params, request_rate)
+    return params.base_round_trip + contention_delay(params, rho)
+
+
+def saturation_request_rate(params):
+    """The request rate at which the network saturates (rho = 1)."""
+    per_request = (2 * params.avg_hops * params.packet_size
+                   * params.bandwidth_coeff)
+    return 2 * params.network_dim / per_request

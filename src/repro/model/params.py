@@ -1,0 +1,132 @@
+"""Analytical-model parameters (paper Table 4 and Section 8).
+
+"The analysis assumes 8000 processors arranged in a three dimensional
+array.  In such a system, the average number of hops between a random
+pair of nodes is nk/3 = 20 ... This yields an average round trip
+network latency of 55 cycles for an unloaded network, when memory
+latency and average packet size are taken into account."
+"""
+
+from repro.errors import ConfigError
+
+
+class ModelParams:
+    """Default system parameters (Table 4), plus the two calibration
+    coefficients of the validated cache/network component models.
+
+    ======================= =========== =================================
+    Parameter               Value       Source
+    ======================= =========== =================================
+    memory_latency          10 cycles   Table 4
+    network_dim (n)         3           Table 4
+    network_radix (k)       20          Table 4
+    fixed_miss_rate         2%          Table 4
+    packet_size (B)         4           Table 4
+    cache_block_bytes       16          Table 4
+    ws_blocks               250         Table 4 (thread working set)
+    cache_bytes             64 KB       Table 4
+    context_switch (C)      10 cycles   Section 8 (the SPARC APRIL)
+    processors              8000        Section 8
+    ======================= =========== =================================
+
+    The two non-Table-4 coefficients parameterize the first-order linear
+    components the paper validated by simulation (Section 8: "Both these
+    terms are shown to be the sum of two components: one component
+    independent of the number of threads p and the other linearly
+    related to p"):
+
+    * ``cache_interference_coeff`` scales the per-extra-thread miss-rate
+      increase from working-set interference, relative to the occupancy
+      ratio ``ws_blocks / cache_blocks``;
+    * ``bandwidth_coeff`` scales per-miss channel traffic to account for
+      protocol messages beyond the data round trip (the strong-coherence
+      acknowledgment traffic of Section 2.1).
+    """
+
+    def __init__(
+        self,
+        memory_latency=10,
+        network_dim=3,
+        network_radix=20,
+        fixed_miss_rate=0.02,
+        packet_size=4,
+        cache_block_bytes=16,
+        ws_blocks=250,
+        cache_bytes=64 * 1024,
+        context_switch=10,
+        processors=8000,
+        cache_interference_coeff=0.030,
+        bandwidth_coeff=1.2,
+    ):
+        self.memory_latency = memory_latency
+        self.network_dim = network_dim
+        self.network_radix = network_radix
+        self.fixed_miss_rate = fixed_miss_rate
+        self.packet_size = packet_size
+        self.cache_block_bytes = cache_block_bytes
+        self.ws_blocks = ws_blocks
+        self.cache_bytes = cache_bytes
+        self.context_switch = context_switch
+        self.processors = processors
+        self.cache_interference_coeff = cache_interference_coeff
+        self.bandwidth_coeff = bandwidth_coeff
+        self.validate()
+
+    def validate(self):
+        if self.network_dim < 1 or self.network_radix < 2:
+            raise ConfigError("degenerate network geometry")
+        if not 0 <= self.fixed_miss_rate < 1:
+            raise ConfigError("miss rate must be a probability")
+        if self.cache_bytes < self.cache_block_bytes:
+            raise ConfigError("cache smaller than one block")
+
+    @property
+    def cache_blocks(self):
+        """Cache capacity in blocks (4096 for the Table 4 defaults)."""
+        return self.cache_bytes // self.cache_block_bytes
+
+    @property
+    def avg_hops(self):
+        """Average one-way hop count nk/3 (20 for Table 4)."""
+        return self.network_dim * self.network_radix / 3.0
+
+    @property
+    def base_round_trip(self):
+        """Unloaded round-trip latency: 2 hops-worth of switching plus
+        memory access plus packet transmission (55 cycles at defaults)."""
+        return (2 * self.avg_hops + self.memory_latency
+                + self.packet_size + 1)
+
+    def replace(self, **overrides):
+        fields = dict(
+            memory_latency=self.memory_latency,
+            network_dim=self.network_dim,
+            network_radix=self.network_radix,
+            fixed_miss_rate=self.fixed_miss_rate,
+            packet_size=self.packet_size,
+            cache_block_bytes=self.cache_block_bytes,
+            ws_blocks=self.ws_blocks,
+            cache_bytes=self.cache_bytes,
+            context_switch=self.context_switch,
+            processors=self.processors,
+            cache_interference_coeff=self.cache_interference_coeff,
+            bandwidth_coeff=self.bandwidth_coeff,
+        )
+        fields.update(overrides)
+        return ModelParams(**fields)
+
+    def render_table4(self):
+        """The Table 4 text block."""
+        rows = [
+            ("Memory latency", "%d cycles" % self.memory_latency),
+            ("Network dimension n", str(self.network_dim)),
+            ("Network radix k", str(self.network_radix)),
+            ("Fixed miss rate", "%g%%" % (100 * self.fixed_miss_rate)),
+            ("Average packet size", str(self.packet_size)),
+            ("Cache block size", "%d bytes" % self.cache_block_bytes),
+            ("Thread working set size", "%d blocks" % self.ws_blocks),
+            ("Cache size", "%d Kbytes" % (self.cache_bytes // 1024)),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join("%-*s  %s" % (width, name, value)
+                         for name, value in rows)

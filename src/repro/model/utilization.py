@@ -1,0 +1,98 @@
+"""Processor utilization U(p): Equation 1 of the paper.
+
+::
+
+            /  p / (1 + T(p) m(p))       for p <  (1 + T(p) m(p)) / (1 + C m(p))
+    U(p) = <
+            \\  1 / (1 + C m(p))          for p >= (1 + T(p) m(p)) / (1 + C m(p))
+
+With few threads, network latency cannot be fully overlapped and each
+thread contributes its share; with enough threads the processor is
+limited only by the context-switch overhead C paid on every miss.
+Because T depends on the traffic the processor itself generates, the
+pair (U, T) is solved as a damped fixed point.
+"""
+
+from repro.model import cache_model, network_model
+from repro.model.params import ModelParams
+
+_BISECT_STEPS = 80
+
+
+def equation1(p, miss, latency_cycles, context_switch):
+    """Literal Equation 1 for given m, T, and C."""
+    saturation_point = (1 + latency_cycles * miss) / (1 + context_switch * miss)
+    if p < saturation_point:
+        return p / (1 + latency_cycles * miss)
+    return 1 / (1 + context_switch * miss)
+
+
+def _response(params, p, miss, candidate, vary_network, context_switch):
+    """Eq. 1's answer given a candidate utilization (which sets traffic)."""
+    if vary_network:
+        latency_cycles = network_model.latency(params, candidate * miss)
+        if latency_cycles == float("inf"):
+            return 0.0, latency_cycles
+    else:
+        latency_cycles = params.base_round_trip
+    return (equation1(p, miss, latency_cycles, context_switch),
+            latency_cycles)
+
+
+def solve(params, p, *, vary_cache=True, vary_network=True,
+          context_switch=None):
+    """Solve the U/T fixed point for ``p`` resident threads.
+
+    The network sees the traffic the processor generates, and the
+    processor runs as fast as the network lets it; Eq. 1's answer is a
+    monotonically decreasing function of the assumed utilization, so
+    the fixed point is unique and found by bisection.
+
+    Args:
+        vary_cache: use m(p) (False pins the single-thread miss rate —
+            the "ideal" curves of Figure 5).
+        vary_network: include network contention (False pins T at the
+            unloaded 55-cycle round trip).
+        context_switch: override C (None = params.context_switch).
+
+    Returns:
+        ``(U, T, m)``.
+    """
+    if context_switch is None:
+        context_switch = params.context_switch
+    miss = cache_model.miss_rate(params, p if vary_cache else 1)
+    low, high = 0.0, 1.0
+    for _ in range(_BISECT_STEPS):
+        mid = (low + high) / 2
+        answer, _ = _response(params, p, miss, mid, vary_network,
+                              context_switch)
+        if answer > mid:
+            low = mid
+        else:
+            high = mid
+    utilization = (low + high) / 2
+    _, latency_cycles = _response(params, p, miss, utilization,
+                                  vary_network, context_switch)
+    return utilization, latency_cycles, miss
+
+
+def utilization(params=None, p=3, **kwargs):
+    """U(p) alone (convenience wrapper)."""
+    params = params or ModelParams()
+    return solve(params, p, **kwargs)[0]
+
+
+def utilization_curve(params=None, max_threads=8, **kwargs):
+    """[U(1) .. U(max_threads)]."""
+    params = params or ModelParams()
+    return [solve(params, p, **kwargs)[0]
+            for p in range(1, max_threads + 1)]
+
+
+def saturation_utilization(params=None, context_switch=None):
+    """The context-switch-limited ceiling 1/(1 + C m) at the
+    single-thread miss rate (the flat part of Figure 5's ideal)."""
+    params = params or ModelParams()
+    if context_switch is None:
+        context_switch = params.context_switch
+    return 1 / (1 + context_switch * params.fixed_miss_rate)

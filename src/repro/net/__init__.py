@@ -1,0 +1,7 @@
+"""The low-dimension direct network (paper Section 2.1): k-ary n-cube
+topology and a wormhole message network with link-occupancy contention."""
+
+from repro.net.network import Network, build_network
+from repro.net.topology import KAryNCube
+
+__all__ = ["KAryNCube", "Network", "build_network"]

@@ -1,0 +1,8 @@
+"""The APRIL run-time system (paper Section 6): virtual threads, the
+scheduler, futures (eager and lazy), trap handlers, heaps, the
+full/empty synchronization library, and IPI message passing."""
+
+from repro.runtime.rts import RuntimeSystem
+from repro.runtime.thread import Thread, ThreadState
+
+__all__ = ["RuntimeSystem", "Thread", "ThreadState"]

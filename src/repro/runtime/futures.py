@@ -1,0 +1,46 @@
+"""Future bookkeeping: waiter lists and resolution.
+
+The future *cell* lives in simulated memory (see
+:mod:`repro.runtime.heap`): its value slot's full/empty bit is the
+resolution flag, exactly as in the paper.  This module adds the
+run-time-system bookkeeping the hardware does not provide: which
+blocked threads wait on which unresolved future, so resolution can move
+them back to a ready queue.
+"""
+
+from repro.isa import tags
+from repro.errors import RuntimeSystemError
+
+
+class FutureTable:
+    """Maps unresolved future cells to their blocked waiters."""
+
+    def __init__(self):
+        self._waiters = {}     # cell byte address -> [Thread]
+        self.created = 0       # eager + stolen-lazy futures
+        self.resolved = 0
+        self.touches_resolved = 0    # touch traps that found a value
+        self.touches_unresolved = 0  # touch traps that had to wait
+
+    def add_waiter(self, future_word, thread):
+        """Record a thread blocked on an unresolved future."""
+        cell = tags.pointer_address(future_word)
+        self._waiters.setdefault(cell, []).append(thread)
+
+    def take_waiters(self, future_word):
+        """Remove and return all threads blocked on this future."""
+        cell = tags.pointer_address(future_word)
+        return self._waiters.pop(cell, [])
+
+    def waiting_count(self):
+        """Total threads blocked on any future (deadlock diagnostics)."""
+        return sum(len(threads) for threads in self._waiters.values())
+
+    def check_empty_on_shutdown(self):
+        """Raise if the machine finished with threads still blocked."""
+        if self._waiters:
+            cells = sorted(self._waiters)
+            raise RuntimeSystemError(
+                "machine finished with threads blocked on futures at %s"
+                % ", ".join("%#x" % c for c in cells[:5])
+            )

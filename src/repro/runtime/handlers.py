@@ -1,0 +1,275 @@
+"""Trap handlers: the run-time system's entry points.
+
+These are the software routines the paper describes in Sections 3 and 6:
+the context-switch (switch-spin) handler, the future-touch handler, the
+full/empty exception handlers, and the ``future`` creation / lazy task
+services that compiled Mul-T code reaches through software traps.
+
+Each handler charges the cycle cost the paper measured for the
+corresponding assembly routine (11-cycle context switch = 5-cycle squash
+charged by the hardware + 6-cycle handler body here; 23-cycle resolved
+future touch; parameterized costs for the rest — see
+:class:`repro.machine.config.MachineConfig`).
+"""
+
+from repro.core.traps import TrapAction, TrapKind
+from repro.errors import RuntimeSystemError, SimulationError
+from repro.isa import registers, tags
+from repro.runtime import stubs
+from repro.runtime.lazy import LazyMarker
+from repro.runtime.thread import ThreadState
+
+_A0 = registers.ARG_REGS[0]
+_A1 = registers.ARG_REGS[1]
+_T7 = registers.TEMP_REGS[7]
+
+
+class TrapHandlers:
+    """Installs and implements all trap handlers for one machine."""
+
+    def __init__(self, rts):
+        self.rts = rts
+        self.config = rts.config
+
+    def install(self, cpu):
+        """Register every handler on a processor's trap table."""
+        table = cpu.trap_table
+        table.register(TrapKind.CACHE_MISS, self.on_cache_miss)
+        table.register(TrapKind.EMPTY_LOAD, self.on_fe_exception)
+        table.register(TrapKind.FULL_STORE, self.on_fe_exception)
+        table.register(TrapKind.FUTURE_COMPUTE, self.on_future_touch)
+        table.register(TrapKind.FUTURE_ADDRESS, self.on_future_touch)
+        table.register(TrapKind.IPI, self.on_ipi)
+        table.register(TrapKind.ALIGNMENT, self.on_fatal)
+        table.register(TrapKind.ILLEGAL, self.on_fatal)
+        table.register_software(stubs.V_THREAD_EXIT, self.on_thread_exit)
+        table.register_software(stubs.V_FUTURE, self.on_future_create)
+        table.register_software(stubs.V_FUTURE_ON, self.on_future_create)
+        table.register_software(stubs.V_LAZY_PUSH, self.on_lazy_push)
+        table.register_software(stubs.V_LAZY_FINISH, self.on_lazy_finish)
+        table.register_software(stubs.V_MAKE_VECTOR, self.on_make_vector)
+        table.register_software(stubs.V_PRINT, self.on_print)
+        table.register_software(stubs.V_ERROR, self.on_error)
+        table.register_software(stubs.V_TOUCH, self.on_explicit_touch)
+
+    # -- context switching -----------------------------------------------
+
+    def _switch_spin(self, cpu, frame):
+        """The Section 6.1 switch-spin: FP moves to the next loaded frame.
+
+        The trapping instruction re-executes when control returns to
+        this frame (the handler body is the rdpsr/save/save/wrpsr/jmpl/
+        rett sequence: 6 cycles, 11 with the squash)."""
+        cpu.charge(self.config.switch_handler_cycles, "switch")
+        cpu.stats.context_switches += 1
+        next_frame = self.rts.scheduler.next_occupied_frame(cpu)
+        if next_frame is not None and next_frame is not frame:
+            self.rts.scheduler.activate_frame(cpu, next_frame)
+        return TrapAction.SWITCHED
+
+    def on_cache_miss(self, cpu, frame, trap):
+        """Remote cache miss: the controller trapped us; switch-spin."""
+        return self._switch_spin(cpu, frame)
+
+    def on_fe_exception(self, cpu, frame, trap):
+        """Full/empty synchronization fault (Section 6.1).
+
+        Default policy is switch-spinning.  A thread that keeps faulting
+        at the same instruction (the producer must be an *unloaded*
+        thread — the starvation scenario of Section 3.1) is eventually
+        unloaded and re-queued, the paper's "controller initiated trap
+        ... whose handler unloads the thread".
+        """
+        thread = frame.thread
+        if thread is None:
+            raise RuntimeSystemError("f/e trap in an empty frame")
+        if trap.pc == getattr(thread, "last_fault_pc", None):
+            thread.spin_count += 1
+        else:
+            thread.last_fault_pc = trap.pc
+            thread.spin_count = 1
+        limit = self.config.touch_spin_limit * max(
+            1, len(cpu.occupied_frames()))
+        if thread.spin_count <= limit:
+            return self._switch_spin(cpu, frame)
+        # Yield: unload and requeue so unloaded producers can run.
+        thread.spin_count = 0
+        self.rts.scheduler.unload_thread(cpu, frame, ThreadState.READY)
+        self.rts.scheduler.enqueue(thread)
+        self.rts.dispatch_next(cpu)
+        return TrapAction.SWITCHED
+
+    # -- futures -----------------------------------------------------------
+
+    def on_future_touch(self, cpu, frame, trap):
+        """Hardware-detected touch of a future (Sections 5, 6.2).
+
+        If resolved, substitute the value into the trapping operand
+        register(s) and retry — 23 cycles.  Otherwise switch-spin, and
+        block (unload into the future's waiter list) after the spin
+        limit, freeing the task frame.
+        """
+        future_word = trap.value
+        if future_word is None or not tags.has_future_lsb(future_word):
+            raise RuntimeSystemError("future trap without a future operand")
+        memory = self.rts.memory
+        cell = tags.pointer_address(future_word)
+        if memory.is_full(cell):
+            value = memory.read_word(cell)
+            for reg in trap.instr.source_registers():
+                if cpu.read_reg(reg, frame) == future_word:
+                    cpu.write_reg(reg, value, frame)
+            cpu.charge(self.config.future_touch_resolved_cycles, "trap")
+            self.rts.futures.touches_resolved += 1
+            if frame.thread is not None:
+                frame.thread.spin_count = 0
+            return TrapAction.RETRY
+
+        self.rts.futures.touches_unresolved += 1
+        thread = frame.thread
+        if thread is None:
+            raise RuntimeSystemError("future touch in an empty frame")
+        thread.spin_count += 1
+        limit = self.config.touch_spin_limit * max(
+            1, len(cpu.occupied_frames()))
+        if thread.spin_count <= limit:
+            return self._switch_spin(cpu, frame)
+        # Block: unload the thread onto the future's waiter list.
+        thread.spin_count = 0
+        thread.blocked_on = future_word
+        self.rts.futures.add_waiter(future_word, thread)
+        self.rts.scheduler.unload_thread(cpu, frame, ThreadState.BLOCKED)
+        self.rts.dispatch_next(cpu)
+        return TrapAction.SWITCHED
+
+    def on_explicit_touch(self, cpu, frame, trap):
+        """``(touch X)`` run-time service: resolve-or-wait on ``a0``."""
+        value = cpu.read_reg(_A0, frame)
+        if not tags.is_future(value):
+            cpu.charge(2, "trap")
+            return TrapAction.RESUME
+        trap.value = value
+        trap.instr = _TouchInstr()
+        return self.on_future_touch(cpu, frame, trap)
+
+    def on_future_create(self, cpu, frame, trap):
+        """``(future E)`` with eager task creation (and ``future-on``)."""
+        thunk = cpu.read_reg(_A0, frame)
+        pinned = None
+        if trap.vector == stubs.V_FUTURE_ON:
+            pinned = tags.fixnum_value(cpu.read_reg(_A1, frame))
+        future_word = self.rts.kernel_heap(cpu.node_id).future_cell()
+        node = self.rts.scheduler.pick_node(cpu.node_id, pinned)
+        thread = self.rts.new_thread(
+            node, entry_closure=thunk, future=future_word)
+        self.rts.scheduler.enqueue(thread, node)
+        self.rts.futures.created += 1
+        cpu.write_reg(_A0, future_word, frame)
+        cpu.charge(self.config.eager_task_create_cycles, "trap")
+        return TrapAction.RESUME
+
+    # -- lazy task creation ---------------------------------------------------
+
+    def on_lazy_push(self, cpu, frame, trap):
+        """Push a lazy-task marker before evaluating the child inline."""
+        thread = frame.thread
+        marker = LazyMarker(
+            thread,
+            sp=cpu.read_reg(registers.SP, frame),
+            resume_pc=cpu.read_reg(_T7, frame),
+            node=cpu.node_id,
+        )
+        thread.lazy_markers.append(marker)
+        self.rts.lazy_queues[cpu.node_id].push(marker)
+        self.rts.lazy_pushed += 1
+        cpu.charge(self.config.lazy_push_cycles, "trap")
+        return TrapAction.RESUME
+
+    def on_lazy_finish(self, cpu, frame, trap):
+        """Child returned to its marker: pop, or resolve if stolen."""
+        thread = frame.thread
+        if not thread.lazy_markers:
+            raise RuntimeSystemError(
+                "%s: lazy finish without a marker" % thread.name)
+        marker = thread.lazy_markers.pop()
+        if not marker.stolen:
+            self.rts.lazy_queues[marker.node].discard(marker)
+            cpu.charge(self.config.lazy_finish_cycles, "trap")
+            return TrapAction.RESUME
+        # Stolen: resolve the thief's future with the child's value;
+        # this thread's continuation now runs elsewhere, so retire it.
+        if thread.lazy_markers:
+            raise RuntimeSystemError(
+                "%s: markers older than a stolen marker must have been "
+                "transferred at steal time" % thread.name)
+        value = cpu.read_reg(_A0, frame)
+        self.rts.resolve_future(cpu, marker.future, value)
+        marker.active = False
+        if thread.is_root:
+            raise RuntimeSystemError(
+                "root-ness must transfer with the stolen stack bottom")
+        self.rts.scheduler.retire_thread(frame)
+        self.rts.free_stack(thread)
+        self.rts.dispatch_next(cpu)
+        return TrapAction.SWITCHED
+
+    # -- thread exit -------------------------------------------------------------
+
+    def on_thread_exit(self, cpu, frame, trap):
+        """A thread's entry closure returned; result is in ``a0``."""
+        thread = frame.thread
+        result = cpu.read_reg(_A0, frame)
+        thread.result = result
+        cpu.charge(self.config.thread_exit_cycles, "trap")
+        self.rts.scheduler.retire_thread(frame)
+        self.rts.free_stack(thread)
+        if thread.future is not None:
+            self.rts.resolve_future(cpu, thread.future, result)
+        if thread.is_root:
+            self.rts.finish(result)
+            return TrapAction.SWITCHED
+        self.rts.dispatch_next(cpu)
+        return TrapAction.SWITCHED
+
+    # -- services -----------------------------------------------------------------
+
+    def on_make_vector(self, cpu, frame, trap):
+        """``(make-vector n fill)`` — allocates in the node's user heap."""
+        length = tags.fixnum_value(cpu.read_reg(_A0, frame))
+        fill = cpu.read_reg(_A1, frame)
+        vector = self.rts.user_vector(cpu, length, fill)
+        cpu.write_reg(_A0, vector, frame)
+        cpu.charge(10 + max(length, 0) // 4, "trap")
+        return TrapAction.RESUME
+
+    def on_print(self, cpu, frame, trap):
+        """Record ``a0`` (decoded to Python data) on the output list."""
+        word = cpu.read_reg(_A0, frame)
+        self.rts.output.append(self.rts.decode_value(word))
+        cpu.charge(5, "trap")
+        return TrapAction.RESUME
+
+    def on_error(self, cpu, frame, trap):
+        code = cpu.read_reg(_A0, frame)
+        raise SimulationError(
+            "program signalled error %s at pc=%#x"
+            % (tags.describe(code), trap.pc))
+
+    def on_fatal(self, cpu, frame, trap):
+        raise SimulationError(
+            "%s trap at pc=%#x (%s)" % (trap.kind.name, trap.pc, trap.cause))
+
+    def on_ipi(self, cpu, frame, trap):
+        """Interprocessor interrupt: dispatch to the registered receiver."""
+        handled = self.rts.deliver_ipi(cpu, trap.value)
+        cpu.charge(10, "trap")
+        if not handled:
+            raise RuntimeSystemError("IPI with no receiver installed")
+        return TrapAction.RETRY
+
+
+class _TouchInstr:
+    """Fake instruction making ``a0`` the substitution target of a touch."""
+
+    def source_registers(self):
+        return [_A0]

@@ -1,0 +1,152 @@
+"""Thread scheduling (paper Sections 3 and 6).
+
+"In APRIL, thread scheduling is done in software, and unlimited virtual
+dynamic threads are supported. ... The scheduler tries to choose
+threads from the set of loaded threads for execution to minimize the
+overhead of saving and restoring threads to and from memory."
+
+The scheduler keeps one ready queue per node (threads prefer their home
+node, and ``future-on`` pins placement), assigns hardware task frames,
+and performs the expensive load/unload operations, charging their cycle
+costs to the processor doing the work.
+"""
+
+from collections import deque
+
+from repro.errors import RuntimeSystemError
+from repro.isa import registers
+from repro.runtime.thread import ThreadState
+
+
+class Scheduler:
+    """Ready queues + task-frame management for all nodes."""
+
+    def __init__(self, cpus, config):
+        self.cpus = cpus
+        self.config = config
+        self.ready = [deque() for _ in cpus]
+        self._rr_counter = 0
+        # Event counters for the harness.
+        self.loads = 0
+        self.unloads = 0
+        self.steals = 0
+
+    # -- placement -------------------------------------------------------
+
+    def pick_node(self, creating_node, pinned=None):
+        """Choose the home node for a new thread."""
+        if pinned is not None:
+            if not 0 <= pinned < len(self.cpus):
+                raise RuntimeSystemError("future-on node %d out of range" % pinned)
+            return pinned
+        if self.config.placement == "local":
+            return creating_node
+        node = self._rr_counter % len(self.cpus)
+        self._rr_counter += 1
+        return node
+
+    def enqueue(self, thread, node=None):
+        """Put a READY thread on a node's ready queue."""
+        if thread.state is not ThreadState.READY:
+            raise RuntimeSystemError(
+                "enqueue of non-ready thread %r" % thread)
+        self.ready[node if node is not None else thread.home_node].append(thread)
+
+    def ready_count(self):
+        return sum(len(q) for q in self.ready)
+
+    # -- frame management ------------------------------------------------------
+
+    def load_thread(self, cpu, thread, frame=None, bootstrap=None):
+        """Load a thread into a hardware task frame (Section 6.2 cost).
+
+        ``bootstrap`` is a callable ``(cpu, frame, thread)`` that
+        initializes a *fresh* thread's registers (entry closure, stack
+        pointer, start PC); threads with ``saved_state`` are restored
+        from it instead.
+        """
+        if frame is None:
+            frame = cpu.free_frame()
+        if frame is None:
+            raise RuntimeSystemError("no free task frame on node %d" % cpu.node_id)
+        if frame.occupied:
+            raise RuntimeSystemError("loading into occupied frame %d" % frame.index)
+        thread.transition(ThreadState.LOADED)
+        frame.thread = thread
+        if thread.saved_state is not None:
+            frame.load_state(thread.saved_state)
+            thread.saved_state = None
+        else:
+            if bootstrap is None:
+                raise RuntimeSystemError(
+                    "fresh thread %r needs a bootstrap" % thread)
+            frame.reset()
+            frame.thread = thread
+            bootstrap(cpu, frame, thread)
+        frame.psr.tid = thread.tid & 0xFFFF
+        cpu.charge(self.config.thread_load_cycles, "switch")
+        self.loads += 1
+        return frame
+
+    def unload_thread(self, cpu, frame, new_state):
+        """Save a loaded thread's state out to memory and free the frame."""
+        thread = frame.thread
+        if thread is None:
+            raise RuntimeSystemError("unloading an empty frame")
+        thread.saved_state = frame.save_state()
+        thread.transition(new_state)
+        frame.thread = None
+        cpu.charge(self.config.thread_unload_cycles, "switch")
+        self.unloads += 1
+        return thread
+
+    def retire_thread(self, frame):
+        """Free the frame of a thread that finished (no state to save)."""
+        thread = frame.thread
+        thread.transition(ThreadState.DONE)
+        frame.thread = None
+        return thread
+
+    # -- frame selection ----------------------------------------------------------
+
+    def next_occupied_frame(self, cpu, exclude=None):
+        """The next loaded frame after FP (round robin), or ``None``.
+
+        ``exclude`` skips a frame index (e.g. the one being vacated).
+        """
+        count = len(cpu.frames)
+        for step in range(1, count + 1):
+            index = (cpu.fp + step) % count
+            if index == exclude:
+                continue
+            if cpu.frames[index].occupied:
+                return cpu.frames[index]
+        return None
+
+    def activate_frame(self, cpu, frame):
+        """Point FP at a frame (the context-switch FP change)."""
+        cpu.fp = frame.index
+
+    # -- work finding ---------------------------------------------------------------
+
+    def dequeue_local(self, node):
+        """Pop the *newest* ready thread (owner runs LIFO).
+
+        Depth-first order bounds the number of simultaneously-live
+        thread stacks by the spawn-tree depth instead of its breadth —
+        the classic work-stealing-deque discipline.
+        """
+        queue = self.ready[node]
+        return queue.pop() if queue else None
+
+    def steal_ready_thread(self, node):
+        """Steal the *oldest* ready thread from another node (FIFO steal,
+        taking the coarsest-grain work)."""
+        count = len(self.cpus)
+        for step in range(1, count):
+            victim = (node + step) % count
+            queue = self.ready[victim]
+            if queue:
+                self.steals += 1
+                return queue.popleft()
+        return None

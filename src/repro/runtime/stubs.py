@@ -1,0 +1,51 @@
+"""Run-time system assembly stubs linked into every program.
+
+The run-time system is "written partly in APRIL assembly code and
+partly in T" (paper Section 6); the assembly part that *must* exist in
+simulated memory is small: the thread bootstrap that every virtual
+thread starts at, which calls the thread's entry closure and traps into
+the scheduler when it returns.  The Python trap handlers stand in for
+the T part (see DESIGN.md).
+
+Register conventions (see :mod:`repro.isa.registers`): the entry
+closure arrives in ``a0``; ``cl`` holds the callee's closure; ``g3`` /
+``g4`` hold the nil and true singletons; ``g0``/``g1`` are the inline
+heap allocation pointer and limit.
+"""
+
+from repro.runtime import heap as heap_layout
+
+#: Software trap vectors (the run-time system's entry points).
+V_THREAD_EXIT = 1
+V_FUTURE = 2        # eager create:  a0=thunk closure -> a0=future
+V_LAZY_PUSH = 3     # t7=resume address
+V_LAZY_FINISH = 4   # a0=child value
+V_MAKE_VECTOR = 5   # a0=length (fixnum), a1=fill -> a0=vector
+V_PRINT = 6         # a0=value to record on the output list
+V_FUTURE_ON = 7     # a0=thunk closure, a1=node (fixnum) -> a0=future
+V_ERROR = 8         # a0=error code (fixnum)
+V_TOUCH = 9         # a0=value -> a0=resolved value (explicit touch)
+
+#: Label every program's threads start at.
+THREAD_START_LABEL = "__thread_start"
+
+
+def thread_start_stub():
+    """Assembly for the thread bootstrap.
+
+    A fresh thread is loaded with ``cl`` = entry closure, ``a0..a3`` =
+    arguments, ``sp`` = its stack base, PC = ``__thread_start``.  The
+    stub calls the closure's code and traps ``V_THREAD_EXIT`` with the
+    result in ``a0``.
+    """
+    return """
+{label}:
+    ldr [cl+{code_off}], t0
+    jmpl [t0+0], ra
+    trap {exit}
+    halt                  ; unreachable: the exit trap never resumes
+""".format(
+        label=THREAD_START_LABEL,
+        code_off=heap_layout.CLOSURE_CODE_OFF,
+        exit=V_THREAD_EXIT,
+    )

@@ -1,0 +1,101 @@
+"""Virtual threads (paper Section 3, Figure 2).
+
+"Threads in ALEWIFE are virtual.  Only a small subset of all threads can
+be physically resident on the processors; these threads are called
+loaded threads.  The remaining threads are referred to as unloaded
+threads and live on various queues in memory, waiting their turn to be
+loaded."
+
+A :class:`Thread` is the descriptor the run-time system keeps for one
+virtual thread: its saved architectural state when unloaded, its stack
+region, the future cell it is computing (if it was spawned by
+``future``), and scheduling bookkeeping.
+"""
+
+import enum
+import itertools
+
+from repro.errors import RuntimeSystemError
+
+_tid_counter = itertools.count(1)
+
+
+class ThreadState(enum.Enum):
+    """Life cycle of a virtual thread."""
+
+    READY = "ready"          # runnable, waiting on a ready queue
+    LOADED = "loaded"        # resident in a hardware task frame
+    BLOCKED = "blocked"      # unloaded, waiting on an unresolved future
+    DONE = "done"            # finished; descriptor kept for inspection
+
+
+class Thread:
+    """One virtual thread.
+
+    Args:
+        stack_base: byte address of the thread's stack (grows upward).
+        stack_words: stack capacity.
+        home_node: node whose ready queue this thread prefers.
+        future: the future-tagged pointer this thread resolves on exit,
+            or ``None`` for plain threads (the main thread).
+    """
+
+    def __init__(self, stack_base, stack_words, home_node=0, future=None,
+                 name=None, entry_closure=None, args=(), is_root=False):
+        self.tid = next(_tid_counter)
+        self.name = name or ("thread-%d" % self.tid)
+        self.state = ThreadState.READY
+        self.stack_base = stack_base
+        self.stack_words = stack_words
+        self.home_node = home_node
+        self.future = future
+        #: Entry closure word + argument words for fresh-thread bootstrap.
+        self.entry_closure = entry_closure
+        self.args = tuple(args)
+        #: True for the thread whose exit finishes the whole run.  Lazy
+        #: continuation stealing transfers root-ness with the stack bottom.
+        self.is_root = is_root
+        #: Stack addresses below this were stolen away (lazy splitting).
+        self.stolen_base = stack_base
+        #: Saved architectural state while unloaded (TaskFrame.save_state).
+        self.saved_state = None
+        #: Consecutive unresolved-touch context switches (starvation guard).
+        self.spin_count = 0
+        #: PC of the last full/empty fault (resets the spin counter when
+        #: the thread faults somewhere new).
+        self.last_fault_pc = None
+        #: The future this thread is blocked on, when BLOCKED.
+        self.blocked_on = None
+        #: Result word once DONE.
+        self.result = None
+        #: Lazy-task markers pushed by this thread (innermost last).
+        self.lazy_markers = []
+
+    @property
+    def stack_limit(self):
+        """First byte past the stack region."""
+        return self.stack_base + 4 * self.stack_words
+
+    def check_transition(self, new_state):
+        """Validate a state transition; the scheduler calls this."""
+        valid = {
+            ThreadState.READY: (ThreadState.LOADED,),
+            ThreadState.LOADED: (
+                ThreadState.READY, ThreadState.BLOCKED, ThreadState.DONE,
+            ),
+            ThreadState.BLOCKED: (ThreadState.READY,),
+            ThreadState.DONE: (),
+        }
+        if new_state not in valid[self.state]:
+            raise RuntimeSystemError(
+                "%s: illegal transition %s -> %s"
+                % (self.name, self.state.value, new_state.value)
+            )
+
+    def transition(self, new_state):
+        self.check_transition(new_state)
+        self.state = new_state
+
+    def __repr__(self):
+        return "Thread(%s, %s, stack=%#x)" % (
+            self.name, self.state.value, self.stack_base)

@@ -1,0 +1,14 @@
+"""The four Mul-T benchmarks of the paper's Section 7 (Table 3)."""
+
+from repro.workloads import factor, fib, queens, speech
+
+ALL = (fib, factor, queens, speech)
+BY_NAME = {module.NAME: module for module in ALL}
+
+
+def get(name):
+    """Look up a workload module by its paper name."""
+    if name not in BY_NAME:
+        raise KeyError(
+            "unknown workload %r (have: %s)" % (name, ", ".join(BY_NAME)))
+    return BY_NAME[name]

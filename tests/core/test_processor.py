@@ -1,0 +1,445 @@
+"""Processor pipeline tests: whole small programs on ideal memory."""
+
+import pytest
+
+from repro.core.traps import (
+    TRAP_SQUASH_CYCLES, TrapAction, TrapKind,
+)
+from repro.errors import ProcessorError
+from repro.isa import registers
+from repro.isa.tags import fixnum_value, make_fixnum
+
+from tests.helpers import build_cpu, run_to_halt
+
+
+def reg(cpu, name):
+    return cpu.read_reg(registers.register_number(name))
+
+
+class TestStraightLine:
+    def test_arithmetic_program(self):
+        cpu, _, _ = build_cpu("""
+            set 40, r1
+            add r1, 8, r2
+            sub r2, 6, r3
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r2") == 48
+        assert reg(cpu, "r3") == 42
+
+    def test_r0_is_hardwired_zero(self):
+        cpu, _, _ = build_cpu("""
+            set 99, r0
+            mov r0, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 0
+
+    def test_globals_visible_across_frames(self):
+        cpu, _, _ = build_cpu("""
+            set 7, g3
+            incfp
+            mov g3, r1
+            halt
+        """)
+        cpu.frames[1].pc = 8
+        cpu.frames[1].npc = 12
+        run_to_halt(cpu)
+        # After incfp, the write to r1 went to frame 1.
+        assert cpu.frames[1].regs[1] == 7
+        assert cpu.fp == 1
+
+    def test_wide_constant(self):
+        cpu, _, _ = build_cpu("""
+            set 0x0FABCDEC, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 0x0FABCDEC
+
+    def test_instruction_count_and_cycles(self):
+        cpu, _, _ = build_cpu("""
+            addr r0, 1, r1
+            addr r1, r1, r2
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.stats.instructions == 3
+        assert cpu.stats.useful == 3
+
+
+class TestControlFlow:
+    def test_loop_sums_one_to_ten(self):
+        cpu, _, _ = build_cpu("""
+            set 0, r1        ; sum
+            set 1, r2        ; i
+        loop:
+            cmpr r2, 10
+            bg done
+            addr r1, r2, r1
+            addr r2, 1, r2
+            ba loop
+        done:
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 55
+
+    def test_delay_slot_executes(self):
+        cpu, _, _ = build_cpu("""
+            ba over
+            @addr r0, 5, r1  ; delay slot: must execute
+            addr r0, 9, r2   ; skipped
+        over:
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 5
+        assert reg(cpu, "r2") == 0
+
+    def test_untaken_branch_falls_through(self):
+        cpu, _, _ = build_cpu("""
+            cmp r0, 0
+            bne away
+            addr r0, 1, r1
+        away:
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 1
+
+    def test_call_and_ret(self):
+        cpu, _, _ = build_cpu("""
+            set 6, a0
+            call double
+            mov a0, r1
+            halt
+        double:
+            addr a0, a0, a0
+            ret
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 12
+
+    def test_nested_calls_via_stack(self):
+        # add3(x) = add1(x) + 2, saving ra on the stack.
+        cpu, _, _ = build_cpu("""
+            set 0x8000, sp
+            set 1, a0
+            call add3
+            halt
+        add3:
+            st ra, [sp+0]
+            addr sp, 4, sp
+            call add1
+            subr sp, 4, sp
+            ld [sp+0], ra
+            addr a0, 2, a0
+            ret
+        add1:
+            addr a0, 1, a0
+            ret
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "a0") == 4
+
+    def test_jmpl_computed_jump(self):
+        cpu, _, program = build_cpu("""
+            set target, r5
+            jmpl [r5+0], r6
+            add r0, 1, r1    ; skipped (after slot)
+        target:
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 0
+        assert reg(cpu, "r6") != 0  # link register captured
+
+
+class TestMemoryInstructions:
+    def test_load_store_roundtrip(self):
+        cpu, memory, _ = build_cpu("""
+            set 0x1000, r1
+            set 1234, r2
+            st r2, [r1+0]
+            ld [r1+0], r3
+            halt
+        """)
+        run_to_halt(cpu)
+        assert reg(cpu, "r3") == 1234
+        assert memory.read_word(0x1000) == 1234
+
+    def test_load_sets_fe_condition_bit(self):
+        cpu, memory, _ = build_cpu("""
+            set 0x1000, r1
+            ldnt [r1+0], r2
+            jempty was_empty
+            halt
+        was_empty:
+            set 1, r3
+            halt
+        """)
+        memory.set_full(0x1000, False)
+        run_to_halt(cpu)
+        assert reg(cpu, "r3") == 1
+
+    def test_ldent_consumes_the_word(self):
+        cpu, memory, _ = build_cpu("""
+            set 0x1000, r1
+            ldent [r1+0], r2
+            halt
+        """)
+        memory.write_word(0x1000, 77)
+        run_to_halt(cpu)
+        assert reg(cpu, "r2") == 77
+        assert not memory.is_full(0x1000)
+
+    def test_stfnt_fills_the_word(self):
+        cpu, memory, _ = build_cpu("""
+            set 0x1000, r1
+            set 5, r2
+            stfnt r2, [r1+0]
+            halt
+        """)
+        memory.set_full(0x1000, False)
+        run_to_halt(cpu)
+        assert memory.is_full(0x1000)
+        assert memory.read_word(0x1000) == 5
+
+    def test_empty_load_traps(self):
+        cpu, memory, _ = build_cpu("""
+            set 0x1000, r1
+            ldtt [r1+0], r2
+            halt
+        """)
+        memory.set_full(0x1000, False)
+        seen = []
+
+        def handler(cpu_, frame, trap):
+            seen.append(trap.kind)
+            return TrapAction.RESUME
+
+        cpu.trap_table.register(TrapKind.EMPTY_LOAD, handler)
+        run_to_halt(cpu)
+        assert seen == [TrapKind.EMPTY_LOAD]
+
+    def test_full_store_traps(self):
+        cpu, memory, _ = build_cpu("""
+            set 0x1000, r1
+            sttt r2, [r1+0]
+            halt
+        """)
+        seen = []
+        cpu.trap_table.register(
+            TrapKind.FULL_STORE,
+            lambda c, f, t: seen.append(t.kind) or TrapAction.RESUME,
+        )
+        run_to_halt(cpu)
+        assert seen == [TrapKind.FULL_STORE]
+
+    def test_misaligned_access_traps(self):
+        cpu, _, _ = build_cpu("""
+            set 0x1002, r1
+            ld [r1+0], r2
+            halt
+        """)
+        seen = []
+        cpu.trap_table.register(
+            TrapKind.ALIGNMENT,
+            lambda c, f, t: seen.append(t.address) or TrapAction.RESUME,
+        )
+        run_to_halt(cpu)
+        assert seen == [0x1002]
+
+
+class TestFutureTraps:
+    FUTURE_WORD = 0x2000 | 0b101  # future-tagged pointer
+
+    def test_strict_compute_on_future_traps(self):
+        cpu, _, _ = build_cpu("""
+            set %d, r1
+            add r1, 4, r2
+            halt
+        """ % self.FUTURE_WORD)
+        seen = []
+        cpu.trap_table.register(
+            TrapKind.FUTURE_COMPUTE,
+            lambda c, f, t: seen.append(t.value) or TrapAction.RESUME,
+        )
+        run_to_halt(cpu)
+        assert seen == [self.FUTURE_WORD]
+
+    def test_load_through_future_pointer_traps(self):
+        cpu, _, _ = build_cpu("""
+            set %d, r1
+            ld [r1+0], r2
+            halt
+        """ % self.FUTURE_WORD)
+        seen = []
+        cpu.trap_table.register(
+            TrapKind.FUTURE_ADDRESS,
+            lambda c, f, t: seen.append(t.value) or TrapAction.RESUME,
+        )
+        run_to_halt(cpu)
+        assert seen == [self.FUTURE_WORD]
+
+    def test_raw_load_ignores_future_tag(self):
+        # The run-time system reads future cells with ldr.
+        cpu, memory, _ = build_cpu("""
+            set %d, r1
+            ldr [r1+3], r2   ; +3 cancels the 101 tag bits... (0x2005+3=0x2008)
+            halt
+        """ % self.FUTURE_WORD)
+        memory.write_word(0x2008, 99)
+        run_to_halt(cpu)
+        assert reg(cpu, "r2") == 99
+
+    def test_trap_retry_reexecutes(self):
+        # Handler replaces the future with a fixnum, then retries: the
+        # same mechanics as the paper's future-touch trap (Section 6.2).
+        cpu, _, _ = build_cpu("""
+            set %d, r1
+            add r1, 4, r2
+            halt
+        """ % self.FUTURE_WORD)
+
+        def resolve(cpu_, frame, trap):
+            cpu_.write_reg(1, make_fixnum(10), frame)
+            return TrapAction.RETRY
+
+        cpu.trap_table.register(TrapKind.FUTURE_COMPUTE, resolve)
+        run_to_halt(cpu)
+        assert fixnum_value(reg(cpu, "r2")) == 11
+
+
+class TestTrapMechanism:
+    def test_software_trap_dispatch(self):
+        cpu, _, _ = build_cpu("""
+            trap 42
+            halt
+        """)
+        seen = []
+        cpu.trap_table.register_software(
+            42, lambda c, f, t: seen.append(t.vector) or TrapAction.RESUME,
+        )
+        run_to_halt(cpu)
+        assert seen == [42]
+
+    def test_unhandled_trap_raises(self):
+        cpu, _, _ = build_cpu("trap 9\nhalt")
+        with pytest.raises(ProcessorError):
+            run_to_halt(cpu)
+
+    def test_trap_squash_cycles_charged(self):
+        cpu, _, _ = build_cpu("trap 1\nhalt")
+        cpu.trap_table.register_software(
+            1, lambda c, f, t: TrapAction.RESUME)
+        run_to_halt(cpu)
+        assert cpu.stats.trap == TRAP_SQUASH_CYCLES
+
+    def test_trap_handler_halt_action(self):
+        cpu, _, _ = build_cpu("trap 1\nnop\nnop")
+        cpu.trap_table.register_software(1, lambda c, f, t: TrapAction.HALT)
+        run_to_halt(cpu)
+        assert cpu.halted
+
+    def test_resume_skips_trapping_instruction(self):
+        cpu, _, _ = build_cpu("""
+            trap 1
+            addr r0, 3, r1
+            halt
+        """)
+        cpu.trap_table.register_software(1, lambda c, f, t: TrapAction.RESUME)
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 3
+
+    def test_illegal_instruction_traps(self):
+        cpu, memory, _ = build_cpu("nop\nhalt")
+        memory.write_word(0, 0xEE000000)  # not a valid opcode
+        seen = []
+        cpu.trap_table.register(
+            TrapKind.ILLEGAL,
+            lambda c, f, t: seen.append(trap_kind_of(t)) or TrapAction.RESUME,
+        )
+        run_to_halt(cpu)
+        assert seen
+
+
+def trap_kind_of(trap):
+    return trap.kind
+
+
+class TestFramePointer:
+    def test_incfp_decfp_wrap(self):
+        cpu, _, _ = build_cpu("incfp\nhalt")
+        # Frame 1 must have a valid PC chain before we switch into it:
+        # point it at the halt.
+        cpu.frames[1].pc = 4
+        cpu.frames[1].npc = 8
+        run_to_halt(cpu)
+        assert cpu.fp == 1
+
+    def test_rdfp(self):
+        cpu, _, _ = build_cpu("rdfp r1\nhalt")
+        run_to_halt(cpu)
+        assert reg(cpu, "r1") == 0
+
+    def test_stfp_switches(self):
+        cpu, _, _ = build_cpu("""
+            set 2, r1
+            stfp r1
+            halt
+        """)
+        cpu.frames[2].pc = 8
+        cpu.frames[2].npc = 12
+        run_to_halt(cpu)
+        assert cpu.fp == 2
+
+    def test_frame_registers_are_private(self):
+        cpu, _, _ = build_cpu("""
+            set 11, r1
+            incfp
+            set 22, r1
+            halt
+        """)
+        cpu.frames[1].pc = 8
+        cpu.frames[1].npc = 12
+        run_to_halt(cpu)
+        assert cpu.frames[0].regs[1] == 11
+        assert cpu.frames[1].regs[1] == 22
+
+
+class TestIPI:
+    def test_ipi_delivered_between_instructions(self):
+        cpu, _, _ = build_cpu("nop\nnop\nhalt")
+        seen = []
+        cpu.trap_table.register(
+            TrapKind.IPI,
+            lambda c, f, t: seen.append(t.value) or TrapAction.RETRY,
+        )
+        cpu.post_ipi("hello")
+        run_to_halt(cpu)
+        assert seen == ["hello"]
+
+    def test_ipi_deferred_when_traps_disabled(self):
+        cpu, _, _ = build_cpu("nop\nhalt")
+        cpu.frame.psr.traps_enabled = False
+        cpu.trap_table.register(
+            TrapKind.IPI, lambda c, f, t: TrapAction.RETRY)
+        cpu.post_ipi("later")
+        run_to_halt(cpu)
+        assert cpu.ipi_queue == ["later"]
+
+
+class TestPSRInstructions:
+    def test_rdpsr_wrpsr_roundtrip(self):
+        cpu, _, _ = build_cpu("""
+            rdpsr r1
+            or r1, 1, r2     ; set TID bit 0
+            wrpsr r2
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.frame.psr.tid == 1

@@ -1,0 +1,117 @@
+"""Harness tests: Table 3 rows on tiny instances, Figure 5 report,
+reporting helpers, and the CLI."""
+
+import os
+
+import pytest
+
+from repro.harness import reporting
+from repro.harness.figure5 import headline_numbers, render_report
+from repro.harness.table3 import (
+    Table3Row, render_table3, run_program_row,
+)
+from repro import workloads
+
+
+class TestTable3Harness:
+    def test_april_row_tiny_fib(self):
+        row = run_program_row(workloads.get("fib"), "APRIL",
+                              cpus=(1, 2), args=(7,))
+        assert row.t_seq == 1.0
+        assert row.mult_seq == pytest.approx(1.0, abs=0.01)
+        assert row.parallel[1] > 1.0       # eager overhead
+        assert row.parallel[2] < row.parallel[1]
+
+    def test_encore_row_has_check_overhead(self):
+        row = run_program_row(workloads.get("fib"), "Encore",
+                              cpus=(1,), args=(7,))
+        assert row.mult_seq > 1.3          # software future detection
+
+    def test_lazy_row_is_cheap(self):
+        row = run_program_row(workloads.get("fib"), "Apr-lazy",
+                              cpus=(1,), args=(8,))
+        assert row.parallel[1] < 2.0
+
+    def test_result_checked(self):
+        # Row computation verifies that every configuration returns the
+        # same value; a broken machine raises instead of mis-reporting.
+        row = run_program_row(workloads.get("factor"), "APRIL",
+                              cpus=(1,), args=(2, 9))
+        assert row.program == "factor"
+
+    def test_render(self):
+        row = Table3Row("fib", "APRIL", 1.0, 1.0, {1: 13.0, 2: 6.5})
+        text = render_table3([row])
+        assert "fib" in text and "13.00" in text
+        assert "Mul-T seq" in text
+
+    def test_as_dict(self):
+        row = Table3Row("fib", "APRIL", 1.0, 1.0, {1: 13.0})
+        data = row.as_dict()
+        assert data["T seq"] == 1.0 and data["1"] == 13.0
+
+
+class TestFigure5Harness:
+    def test_report_sections(self):
+        text = render_report(max_threads=4)
+        assert "Table 4" in text
+        assert "Figure 5" in text
+        assert "U=" in text
+
+    def test_headline_numbers(self):
+        numbers = headline_numbers()
+        assert numbers["base_round_trip"] == 55
+        assert 0.75 < numbers["U(3)"] < 0.85
+        assert numbers["plateau_at"] <= 4
+
+
+class TestReporting:
+    def test_save_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+        path = reporting.save_report("thing.txt", "hello")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"
+
+    def test_banner(self):
+        assert "title" in reporting.banner("title")
+
+
+class TestCLI:
+    def test_run_command(self, tmp_path, capsys):
+        from repro.cli import main
+        program = tmp_path / "prog.mult"
+        program.write_text(
+            "(define (main a) (* a a))")
+        code = main(["run", str(program), "--mode", "sequential",
+                     "--args", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result: 36" in out
+        assert "cycles:" in out
+
+    def test_run_lazy_multiprocessor(self, tmp_path, capsys):
+        from repro.cli import main
+        program = tmp_path / "prog.mult"
+        program.write_text("""
+        (define (fib n)
+          (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+        (define (main n) (fib n))
+        """)
+        code = main(["run", str(program), "-p", "2", "--mode", "lazy",
+                     "--args", "8"])
+        assert code == 0
+        assert "result: 21" in capsys.readouterr().out
+
+    def test_asm_command(self, tmp_path, capsys):
+        from repro.cli import main
+        source = tmp_path / "prog.s"
+        source.write_text("start:\n    add r1, r2, r3\n    halt\n")
+        assert main(["asm", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "add r1, r2, r3" in out and "start:" in out
+
+    def test_figure5_command(self, capsys):
+        from repro.cli import main
+        assert main(["figure5"]) == 0
+        assert "Table 4" in capsys.readouterr().out

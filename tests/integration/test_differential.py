@@ -1,0 +1,109 @@
+"""Differential testing: randomly generated Mul-T programs must produce
+the same value compiled-and-simulated as directly interpreted.
+
+The generator builds small closed arithmetic/list programs from a
+grammar; hypothesis shrinks any counterexample to a minimal program.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lang.interp import interpret
+from repro.lang.run import run_mult
+
+# -- expression grammar ------------------------------------------------------
+
+_INT = st.integers(min_value=-50, max_value=50)
+
+
+def _expressions(depth, variables):
+    """Strategy for expressions over bound integer ``variables``."""
+    leaves = [_INT.map(str)]
+    if variables:
+        leaves.append(st.sampled_from(sorted(variables)))
+    leaf = st.one_of(*leaves)
+    if depth <= 0:
+        return leaf
+
+    sub = _expressions(depth - 1, variables)
+
+    def binop(op):
+        return st.tuples(sub, sub).map(
+            lambda pair: "(%s %s %s)" % (op, pair[0], pair[1]))
+
+    def if_expr():
+        cmp_op = st.sampled_from(["<", ">", "=", "<=", ">="])
+        return st.tuples(cmp_op, sub, sub, sub, sub).map(
+            lambda t: "(if (%s %s %s) %s %s)" % t)
+
+    def let_expr():
+        inner = _expressions(depth - 1, variables | {"v%d" % depth})
+        return st.tuples(sub, inner).map(
+            lambda pair: "(let ((v%d %s)) %s)" % (depth, pair[0], pair[1]))
+
+    def guarded_div(op):
+        # Divide by a non-zero constant to keep both backends defined.
+        nonzero = st.integers(min_value=1, max_value=9)
+        return st.tuples(sub, nonzero).map(
+            lambda pair: "(%s %s %d)" % (op, pair[0], pair[1]))
+
+    return st.one_of(
+        leaf,
+        binop("+"), binop("-"), binop("*" if depth < 2 else "+"),
+        guarded_div("quotient"), guarded_div("remainder"),
+        if_expr(),
+        let_expr(),
+    )
+
+
+@st.composite
+def programs(draw):
+    body = draw(_expressions(3, {"a", "b"}))
+    return "(define (main a b) %s)" % body
+
+
+@st.composite
+def future_programs(draw):
+    body = draw(_expressions(2, {"a", "b"}))
+    helper_body = draw(_expressions(2, {"x"}))
+    return (
+        "(define (helper x) %s)\n"
+        "(define (main a b) (+ (future (helper a)) %s))"
+        % (helper_body, body)
+    )
+
+
+_SETTINGS = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCompilerAgainstInterpreter:
+    @_SETTINGS
+    @given(programs(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_sequential_programs_agree(self, source, a, b):
+        expected, _ = interpret(source, args=(a, b))
+        result = run_mult(source, mode="sequential", args=(a, b))
+        assert result.value == expected, source
+
+    @_SETTINGS
+    @given(future_programs(), st.integers(-10, 10), st.integers(-10, 10))
+    def test_eager_futures_agree(self, source, a, b):
+        expected, _ = interpret(source, args=(a, b))
+        result = run_mult(source, mode="eager", processors=2, args=(a, b))
+        assert result.value == expected, source
+
+    @_SETTINGS
+    @given(future_programs(), st.integers(-10, 10), st.integers(-10, 10))
+    def test_lazy_futures_agree(self, source, a, b):
+        expected, _ = interpret(source, args=(a, b))
+        result = run_mult(source, mode="lazy", processors=2, args=(a, b))
+        assert result.value == expected, source
+
+    @_SETTINGS
+    @given(programs(), st.integers(-20, 20), st.integers(-20, 20))
+    def test_modes_agree_with_each_other(self, source, a, b):
+        seq = run_mult(source, mode="sequential", args=(a, b))
+        eager = run_mult(source, mode="eager", args=(a, b))
+        assert seq.value == eager.value

@@ -1,0 +1,97 @@
+"""Tests for the Figure 3 data type encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TagError
+from repro.isa import tags
+
+
+class TestFixnums:
+    def test_roundtrip_zero(self):
+        assert tags.fixnum_value(tags.make_fixnum(0)) == 0
+
+    def test_roundtrip_positive(self):
+        assert tags.fixnum_value(tags.make_fixnum(12345)) == 12345
+
+    def test_roundtrip_negative(self):
+        assert tags.fixnum_value(tags.make_fixnum(-7)) == -7
+
+    def test_extremes(self):
+        assert tags.fixnum_value(tags.make_fixnum(tags.FIXNUM_MAX)) == tags.FIXNUM_MAX
+        assert tags.fixnum_value(tags.make_fixnum(tags.FIXNUM_MIN)) == tags.FIXNUM_MIN
+
+    def test_overflow_raises(self):
+        with pytest.raises(TagError):
+            tags.make_fixnum(tags.FIXNUM_MAX + 1)
+        with pytest.raises(TagError):
+            tags.make_fixnum(tags.FIXNUM_MIN - 1)
+
+    def test_low_bits_are_zero(self):
+        assert tags.make_fixnum(99) & 0b11 == 0
+
+    def test_fixnum_value_rejects_tagged(self):
+        with pytest.raises(TagError):
+            tags.fixnum_value(tags.make_cons(8))
+
+    @given(st.integers(min_value=tags.FIXNUM_MIN, max_value=tags.FIXNUM_MAX))
+    def test_roundtrip_property(self, n):
+        word = tags.make_fixnum(n)
+        assert tags.is_fixnum(word)
+        assert not tags.has_future_lsb(word)
+        assert tags.fixnum_value(word) == n
+
+
+class TestPointers:
+    def test_cons_roundtrip(self):
+        word = tags.make_cons(0x100)
+        assert tags.is_cons(word)
+        assert tags.pointer_address(word) == 0x100
+
+    def test_other_roundtrip(self):
+        word = tags.make_other(0x208)
+        assert tags.is_other(word)
+        assert tags.pointer_address(word) == 0x208
+
+    def test_future_roundtrip(self):
+        word = tags.make_future(0x18)
+        assert tags.is_future(word)
+        assert tags.pointer_address(word) == 0x18
+
+    def test_misaligned_pointer_raises(self):
+        with pytest.raises(TagError):
+            tags.make_cons(0x104)  # word aligned but not 8-byte aligned
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(TagError):
+            tags.make_pointer(0b011, 0x100)
+
+    def test_only_future_has_lsb_set(self):
+        assert tags.has_future_lsb(tags.make_future(8))
+        assert not tags.has_future_lsb(tags.make_cons(8))
+        assert not tags.has_future_lsb(tags.make_other(8))
+        assert not tags.has_future_lsb(tags.make_fixnum(-1))
+
+    @given(
+        st.sampled_from([tags.TAG_OTHER, tags.TAG_CONS, tags.TAG_FUTURE]),
+        st.integers(min_value=0, max_value=(1 << 28)).map(lambda n: n * 8),
+    )
+    def test_roundtrip_property(self, tag, address):
+        word = tags.make_pointer(tag, address)
+        assert tags.pointer_tag(word) == tag
+        assert tags.pointer_address(word) == address
+        assert tags.is_pointer(word)
+        assert not tags.is_fixnum(word)
+
+
+class TestDescribe:
+    def test_fixnum(self):
+        assert tags.describe(tags.make_fixnum(42)) == "fixnum(42)"
+
+    def test_cons(self):
+        assert "cons@16" in tags.describe(tags.make_cons(16))
+
+    def test_tag_name(self):
+        assert tags.tag_name(tags.make_fixnum(1)) == "fixnum"
+        assert tags.tag_name(tags.make_future(8)) == "future"

@@ -1,0 +1,253 @@
+"""Compiled Mul-T programs: sequential-language correctness."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.lang.compiler import compile_source
+from repro.lang.run import run_mult
+
+
+def run_seq(source, args=(), **kwargs):
+    return run_mult(source, mode="sequential", args=args, **kwargs)
+
+
+class TestArithmetic:
+    def test_constant(self):
+        assert run_seq("(define (main) 42)").value == 42
+
+    def test_add(self):
+        assert run_seq("(define (main) (+ 1 2))").value == 3
+
+    def test_nested_arith(self):
+        assert run_seq("(define (main) (* (+ 2 3) (- 10 4)))").value == 30
+
+    def test_nary_add(self):
+        assert run_seq("(define (main) (+ 1 2 3 4 5))").value == 15
+
+    def test_negative_results(self):
+        assert run_seq("(define (main) (- 3 10))").value == -7
+
+    def test_unary_minus(self):
+        assert run_seq("(define (main) (- 5))").value == -5
+
+    def test_quotient_remainder(self):
+        assert run_seq("(define (main) (quotient 17 5))").value == 3
+        assert run_seq("(define (main) (remainder 17 5))").value == 2
+
+    def test_args_passed_to_main(self):
+        assert run_seq("(define (main a b) (+ a b))", args=(20, 22)).value == 42
+
+
+class TestConditionals:
+    def test_if_true(self):
+        assert run_seq("(define (main) (if (< 1 2) 10 20))").value == 10
+
+    def test_if_false(self):
+        assert run_seq("(define (main) (if (> 1 2) 10 20))").value == 20
+
+    def test_comparisons(self):
+        source = "(define (main) (if (%s 3 3) 1 0))"
+        assert run_seq(source % "<=").value == 1
+        assert run_seq(source % ">=").value == 1
+        assert run_seq(source % "=").value == 1
+        assert run_seq(source % "<").value == 0
+
+    def test_cond(self):
+        source = """
+        (define (classify n)
+          (cond ((< n 0) 0)
+                ((= n 0) 1)
+                (else 2)))
+        (define (main) (+ (classify -5) (+ (classify 0) (classify 9))))
+        """
+        assert run_seq(source).value == 0 + 1 + 2
+
+    def test_and_or(self):
+        assert run_seq("(define (main) (if (and (< 1 2) (< 2 3)) 1 0))").value == 1
+        assert run_seq("(define (main) (if (and (< 1 2) (< 3 2)) 1 0))").value == 0
+        assert run_seq("(define (main) (if (or (< 2 1) (< 2 3)) 1 0))").value == 1
+
+    def test_not(self):
+        assert run_seq("(define (main) (if (not (< 2 1)) 7 8))").value == 7
+
+    def test_booleans_are_values(self):
+        assert run_seq("(define (main) #t)").value is True
+        assert run_seq("(define (main) #f)").value == []
+
+
+class TestBindings:
+    def test_let(self):
+        assert run_seq("(define (main) (let ((x 3) (y 4)) (+ x y)))").value == 7
+
+    def test_let_shadowing(self):
+        source = "(define (main) (let ((x 1)) (let ((x 2)) x)))"
+        assert run_seq(source).value == 2
+
+    def test_let_star(self):
+        source = "(define (main) (let* ((x 2) (y (* x x))) (+ x y)))"
+        assert run_seq(source).value == 6
+
+    def test_set_local(self):
+        source = """
+        (define (main)
+          (let ((x 1))
+            (set! x (+ x 10))
+            x))
+        """
+        assert run_seq(source).value == 11
+
+    def test_global_constant(self):
+        source = """
+        (define limit 100)
+        (define (main) (+ limit 1))
+        """
+        assert run_seq(source).value == 101
+
+    def test_set_global(self):
+        source = """
+        (define counter 0)
+        (define (bump) (set! counter (+ counter 1)))
+        (define (main) (begin (bump) (bump) counter))
+        """
+        assert run_seq(source).value == 2
+
+
+class TestFunctions:
+    def test_direct_call(self):
+        source = """
+        (define (double x) (+ x x))
+        (define (main) (double 21))
+        """
+        assert run_seq(source).value == 42
+
+    def test_recursion(self):
+        source = """
+        (define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))
+        (define (main) (fact 10))
+        """
+        assert run_seq(source).value == 3628800
+
+    def test_mutual_recursion(self):
+        source = """
+        (define (is-even n) (if (= n 0) #t (is-odd (- n 1))))
+        (define (is-odd n) (if (= n 0) #f (is-even (- n 1))))
+        (define (main) (if (is-even 10) 1 0))
+        """
+        assert run_seq(source).value == 1
+
+    def test_four_arguments(self):
+        source = """
+        (define (f a b c d) (+ a (+ b (+ c d))))
+        (define (main) (f 1 2 3 4))
+        """
+        assert run_seq(source).value == 10
+
+    def test_self_tail_call_is_constant_stack(self):
+        # A 100000-iteration loop would blow the 1K-word stack without TCO.
+        source = """
+        (define (count n acc) (if (= n 0) acc (count (- n 1) (+ acc 1))))
+        (define (main) (count 100000 0))
+        """
+        assert run_seq(source).value == 100000
+
+    def test_lambda_closure(self):
+        source = """
+        (define (make-adder k) (lambda (x) (+ x k)))
+        (define (main) ((make-adder 4) 38))
+        """
+        assert run_seq(source).value == 42
+
+    def test_nested_capture(self):
+        source = """
+        (define (f a)
+          (lambda (b)
+            (lambda (c) (+ a (+ b c)))))
+        (define (main) (((f 1) 2) 3))
+        """
+        assert run_seq(source).value == 6
+
+    def test_function_as_value(self):
+        source = """
+        (define (apply2 f x) (f x))
+        (define (inc x) (+ x 1))
+        (define (main) (apply2 inc 41))
+        """
+        assert run_seq(source).value == 42
+
+
+class TestDataStructures:
+    def test_cons_car_cdr(self):
+        assert run_seq("(define (main) (car (cons 1 2)))").value == 1
+        assert run_seq("(define (main) (cdr (cons 1 2)))").value == 2
+
+    def test_list_building(self):
+        source = "(define (main) (cons 1 (cons 2 (cons 3 '()))))"
+        assert run_seq(source).value == [1, 2, 3]
+
+    def test_null_and_pair(self):
+        assert run_seq("(define (main) (if (null? '()) 1 0))").value == 1
+        assert run_seq("(define (main) (if (pair? (cons 1 2)) 1 0))").value == 1
+        assert run_seq("(define (main) (if (pair? 5) 1 0))").value == 0
+
+    def test_set_car(self):
+        source = """
+        (define (main)
+          (let ((p (cons 1 2)))
+            (set-car! p 9)
+            (car p)))
+        """
+        assert run_seq(source).value == 9
+
+    def test_list_recursion(self):
+        source = """
+        (define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+        (define (main) (sum (iota 10)))
+        """
+        assert run_seq(source).value == 45
+
+    def test_vectors(self):
+        source = """
+        (define (main)
+          (let ((v (make-vector 5 0)))
+            (vector-set! v 0 10)
+            (vector-set! v 4 32)
+            (+ (vector-ref v 0) (+ (vector-ref v 4) (vector-length v)))))
+        """
+        assert run_seq(source).value == 47
+
+    def test_prelude_helpers(self):
+        assert run_seq("(define (main) (list-length (iota 7)))").value == 7
+        assert run_seq("(define (main) (list-reverse (iota 3)))").value == [2, 1, 0]
+        assert run_seq("(define (main) (max2 3 (min2 9 5)))").value == 5
+        assert run_seq("(define (main) (abs (- 3 10)))").value == 7
+
+    def test_print_output(self):
+        result = run_seq("""
+        (define (main) (begin (print 1) (print (cons 2 '())) 0))
+        """)
+        assert result.output == [1, [2]]
+
+
+class TestCompilerErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(CompilerError):
+            compile_source("(define (main) nosuch)")
+
+    def test_too_many_args(self):
+        with pytest.raises(CompilerError):
+            compile_source("(define (f a b c d e) a) (define (main) 0)")
+
+    def test_bad_primitive_arity(self):
+        with pytest.raises(CompilerError):
+            compile_source("(define (main) (car 1 2))")
+
+    def test_set_captured_rejected(self):
+        with pytest.raises(CompilerError):
+            compile_source("""
+            (define (f x) (lambda () (set! x 1)))
+            (define (main) 0)
+            """)
+
+    def test_non_define_toplevel(self):
+        with pytest.raises(CompilerError):
+            compile_source("(+ 1 2)")

@@ -1,0 +1,128 @@
+"""Compiled futures: eager and lazy, single- and multi-processor."""
+
+import pytest
+
+from repro.lang.run import run_mult
+
+FIB = """
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+(define (main) (fib 10))
+"""
+
+TREE_SUM = """
+(define (build depth)
+  (if (= depth 0)
+      (cons 1 '())
+      (cons (build (- depth 1)) (build (- depth 1)))))
+(define (tsum t)
+  (if (pair? t)
+      (if (null? (cdr t))
+          (car t)
+          (+ (future (tsum (car t))) (tsum (cdr t))))
+      0))
+(define (main) (tsum (build 5)))
+"""
+
+
+@pytest.mark.parametrize("mode", ["sequential", "eager", "lazy"])
+@pytest.mark.parametrize("processors", [1, 2, 4])
+class TestFibAllModes:
+    def test_fib(self, mode, processors):
+        result = run_mult(FIB, mode=mode, processors=processors)
+        assert result.value == 55
+
+
+class TestEagerBehavior:
+    def test_futures_created(self):
+        result = run_mult(FIB, mode="eager", processors=2)
+        # fib 10 has fib(n>=2) calls each spawning 2 futures.
+        assert result.stats.futures_created > 100
+        assert result.stats.futures_created == result.stats.futures_resolved
+
+    def test_sequential_creates_none(self):
+        result = run_mult(FIB, mode="sequential", processors=1)
+        assert result.stats.futures_created == 0
+
+    def test_future_value_flows_through_list(self):
+        # Non-strict operations (cons, car) pass the future along
+        # untouched; only the final (strict) touch synchronizes.
+        source = """
+        (define (slow-id x) (if (= x 0) 0 (+ 1 (slow-id (- x 1)))))
+        (define (main)
+          (let ((f (future (slow-id 20))))
+            (touch (car (cons f '())))))
+        """
+        result = run_mult(source, mode="eager", processors=2)
+        assert result.value == 20
+
+    def test_touch_primitive(self):
+        source = """
+        (define (main) (touch (future (+ 1 2))))
+        """
+        assert run_mult(source, mode="eager", processors=1).value == 3
+
+    def test_future_on_placement(self):
+        source = """
+        (define (work) (+ 20 22))
+        (define (main) (touch (future-on 1 (work))))
+        """
+        result = run_mult(source, mode="eager", processors=2)
+        assert result.value == 42
+
+
+class TestLazyBehavior:
+    def test_single_cpu_no_tasks(self):
+        result = run_mult(FIB, mode="lazy", processors=1)
+        assert result.value == 55
+        # Nobody idle to steal: all futures inlined, zero tasks created.
+        assert result.stats.lazy_stolen == 0
+        assert result.stats.futures_created == 0
+        assert result.stats.threads_created == 1
+
+    def test_multi_cpu_steals(self):
+        result = run_mult(FIB, mode="lazy", processors=4)
+        assert result.value == 55
+        assert result.stats.lazy_stolen > 0
+        # Far fewer tasks than eager mode would create.
+        eager = run_mult(FIB, mode="eager", processors=4)
+        assert result.stats.futures_created < eager.stats.futures_created
+
+    def test_lazy_cheaper_than_eager_single_cpu(self):
+        lazy = run_mult(FIB, mode="lazy", processors=1)
+        eager = run_mult(FIB, mode="eager", processors=1)
+        assert lazy.cycles < eager.cycles
+
+    def test_tree_sum(self):
+        for processors in (1, 2, 4):
+            result = run_mult(TREE_SUM, mode="lazy", processors=processors)
+            assert result.value == 32
+
+
+class TestSpeedup:
+    def test_lazy_fib_speeds_up(self):
+        one = run_mult(FIB, mode="lazy", processors=1)
+        four = run_mult(FIB, mode="lazy", processors=4)
+        assert four.cycles < one.cycles
+
+    def test_eager_fib_speeds_up(self):
+        one = run_mult(FIB, mode="eager", processors=1)
+        four = run_mult(FIB, mode="eager", processors=4)
+        assert four.cycles < one.cycles
+
+
+class TestSoftwareChecks:
+    def test_checks_preserve_semantics(self):
+        result = run_mult(FIB, mode="eager", processors=2,
+                          software_checks=True)
+        assert result.value == 55
+
+    def test_checks_cost_cycles_sequentially(self):
+        plain = run_mult(FIB, mode="sequential", processors=1)
+        checked = run_mult(FIB, mode="sequential", processors=1,
+                           software_checks=True)
+        # The Encore configuration pays for the software tag tests even
+        # though no future is ever created (Table 3, "Mul-T seq").
+        assert checked.cycles > plain.cycles * 1.3

@@ -1,0 +1,123 @@
+"""Reader and reference-interpreter unit tests."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.lang import reader
+from repro.lang.interp import interpret
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert reader.tokenize("(+ 1 2)") == ["(", "+", "1", "2", ")"]
+
+    def test_comments_stripped(self):
+        assert reader.tokenize("(a ; comment\n b)") == ["(", "a", "b", ")"]
+
+    def test_quote_token(self):
+        assert reader.tokenize("'x") == ["'", "x"]
+
+
+class TestReader:
+    def test_atoms(self):
+        assert reader.read("42") == 42
+        assert reader.read("-7") == -7
+        assert reader.read("#t") is True
+        assert reader.read("#f") is False
+        assert reader.read("abc") == "abc"
+
+    def test_nested(self):
+        assert reader.read("(a (b 1) 2)") == ["a", ["b", 1], 2]
+
+    def test_quote(self):
+        assert reader.read("'()") == ["quote", []]
+        assert reader.read("'x") == ["quote", "x"]
+
+    def test_program(self):
+        forms = reader.read_program("(a) (b 1)")
+        assert forms == [["a"], ["b", 1]]
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(CompilerError):
+            reader.read("(a (b)")
+        with pytest.raises(CompilerError):
+            reader.read(")")
+
+    def test_trailing_raises(self):
+        with pytest.raises(CompilerError):
+            reader.read("(a) extra")
+
+    def test_write_roundtrip(self):
+        text = "(define (f x) (if (< x 1) #t #f))"
+        assert reader.read(reader.write(reader.read(text))) == \
+            reader.read(text)
+
+
+class TestInterpreter:
+    def run(self, source, entry="main", args=()):
+        value, _output = interpret(source, entry=entry, args=args)
+        return value
+
+    def test_arith(self):
+        assert self.run("(define (main) (* (+ 1 2) (- 10 4)))") == 18
+
+    def test_recursion(self):
+        assert self.run("""
+        (define (f n) (if (= n 0) 1 (* n (f (- n 1)))))
+        (define (main) (f 5))
+        """) == 120
+
+    def test_closures(self):
+        assert self.run("""
+        (define (adder k) (lambda (x) (+ x k)))
+        (define (main) ((adder 3) 4))
+        """) == 7
+
+    def test_futures_are_transparent(self):
+        assert self.run("(define (main) (+ (future 1) (touch 2)))") == 3
+
+    def test_lists(self):
+        assert self.run("""
+        (define (main) (car (cdr (cons 1 (cons 2 '())))))
+        """) == 2
+
+    def test_list_result_converted(self):
+        assert self.run("(define (main) (cons 1 (cons 2 '())))") == [1, 2]
+
+    def test_vectors(self):
+        assert self.run("""
+        (define (main)
+          (let ((v (make-vector 3 5)))
+            (vector-set! v 1 9)
+            (+ (vector-ref v 0) (vector-ref v 1))))
+        """) == 14
+
+    def test_shadowing_primitives(self):
+        assert self.run("""
+        (define (main) (let ((car 10)) car))
+        """) == 10
+
+    def test_set_bang(self):
+        assert self.run("""
+        (define (main) (let ((x 1)) (begin (set! x 5) x)))
+        """) == 5
+
+    def test_cond_and_or(self):
+        assert self.run("""
+        (define (main)
+          (cond ((and (< 1 2) (> 1 2)) 0)
+                ((or #f (= 1 1)) 7)
+                (else 9)))
+        """) == 7
+
+    def test_output(self):
+        _, output = interpret("(define (main) (begin (print 4) 0))")
+        assert output == [4]
+
+    def test_unbound_raises(self):
+        with pytest.raises(CompilerError):
+            self.run("(define (main) nope)")
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(CompilerError):
+            self.run("(define (f a) a) (define (main) (f 1 2))")

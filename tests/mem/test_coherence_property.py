@@ -1,0 +1,101 @@
+"""Property-based coherence checking: random access interleavings
+through the controllers must preserve the directory invariants and
+never lose a write (single-writer + freshness)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import LOAD_FLAVORS, Opcode, STORE_FLAVORS
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.runtime import stubs
+
+_LOAD = LOAD_FLAVORS[Opcode.LDNW]    # wait-flavors: complete synchronously
+_STORE = STORE_FLAVORS[Opcode.STNW]
+
+_BLOCKS = [0x5000 + 16 * i for i in range(6)]
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),        # node
+        st.booleans(),                                # is_write
+        st.integers(min_value=0, max_value=5),        # block index
+        st.integers(min_value=0, max_value=1000),     # value (writes)
+    ),
+    min_size=1, max_size=120,
+)
+
+
+def build_machine(processors=4):
+    source = stubs.thread_start_stub() + "main:\n    set 0, a0\n    ret\n"
+    config = MachineConfig(num_processors=processors,
+                           memory_mode="coherent",
+                           cache_bytes=512)    # tiny: force evictions
+    return AlewifeMachine(assemble(source), config)
+
+
+class TestCoherenceProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(operations)
+    def test_reads_always_see_last_write(self, ops):
+        machine = build_machine()
+        controllers = machine.fabric.controllers
+        cpus = machine.cpus
+        expected = {}
+        for node, is_write, block_index, value in ops:
+            address = _BLOCKS[block_index]
+            if is_write:
+                outcome = controllers[node].store(
+                    address, value, _STORE, context=cpus[node])
+                assert outcome.ok
+                expected[address] = value
+                # A store advances that node's local clock, like the
+                # event loop would.
+                cpus[node].charge(outcome.cycles, "useful")
+            else:
+                outcome = controllers[node].load(
+                    address, _LOAD, context=cpus[node])
+                assert outcome.ok
+                cpus[node].charge(outcome.cycles, "useful")
+                assert outcome.value == expected.get(address, 0), (
+                    "node %d read stale data at %#x" % (node, address))
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(operations)
+    def test_directory_invariants_hold_throughout(self, ops):
+        machine = build_machine()
+        controllers = machine.fabric.controllers
+        cpus = machine.cpus
+        for node, is_write, block_index, value in ops:
+            address = _BLOCKS[block_index]
+            if is_write:
+                controllers[node].store(address, value, _STORE,
+                                        context=cpus[node])
+            else:
+                controllers[node].load(address, _LOAD, context=cpus[node])
+            machine.fabric.check_coherence_invariants()
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(operations)
+    def test_at_most_one_modified_copy(self, ops):
+        from repro.mem.cache import LineState
+        machine = build_machine()
+        controllers = machine.fabric.controllers
+        cpus = machine.cpus
+        for node, is_write, block_index, value in ops:
+            address = _BLOCKS[block_index]
+            if is_write:
+                controllers[node].store(address, value, _STORE,
+                                        context=cpus[node])
+            else:
+                controllers[node].load(address, _LOAD, context=cpus[node])
+            holders = [
+                n for n, cache in enumerate(machine.fabric.caches)
+                if cache.contents().get(address) is LineState.MODIFIED
+            ]
+            assert len(holders) <= 1, (
+                "block %#x modified in caches %s" % (address, holders))

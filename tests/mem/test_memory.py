@@ -1,0 +1,142 @@
+"""Memory bank + full/empty bit semantics (the Table 2 matrix)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.traps import TrapKind
+from repro.errors import MemoryError_
+from repro.isa.instructions import LOAD_FLAVORS, Opcode, STORE_FLAVORS
+from repro.mem.memory import Memory
+
+
+@pytest.fixture
+def memory():
+    return Memory(1024)
+
+
+class TestRawAccess:
+    def test_roundtrip(self, memory):
+        memory.write_word(64, 0xDEADBEEF)
+        assert memory.read_word(64) == 0xDEADBEEF
+
+    def test_masks_to_32_bits(self, memory):
+        memory.write_word(0, 0x1FFFFFFFF)
+        assert memory.read_word(0) == 0xFFFFFFFF
+
+    def test_misaligned_raises(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.read_word(2)
+
+    def test_out_of_range_raises(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.read_word(4096)
+
+    def test_banked_base(self):
+        bank = Memory(16, base=0x1000)
+        bank.write_word(0x1004, 7)
+        assert bank.read_word(0x1004) == 7
+        assert bank.contains(0x1004)
+        assert not bank.contains(0x0FFC)
+        with pytest.raises(MemoryError_):
+            bank.read_word(0x0FFC)
+
+    def test_defaults_to_full(self, memory):
+        assert memory.is_full(0)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_write_read_property(self, index, value):
+        memory = Memory(256)
+        memory.write_word(index * 4, value)
+        assert memory.read_word(index * 4) == value
+
+
+class TestTable2LoadMatrix:
+    """Every load flavor against both full/empty states (Table 2)."""
+
+    @pytest.mark.parametrize("opcode", sorted(LOAD_FLAVORS, key=int))
+    def test_full_location_always_loads(self, memory, opcode):
+        flavor = LOAD_FLAVORS[opcode]
+        memory.write_word(40, 123)
+        value, was_full, trap = memory.sync_load(40, flavor)
+        assert value == 123
+        assert was_full
+        assert trap is None
+        if flavor.set_empty and not flavor.raw:
+            assert not memory.is_full(40)
+        else:
+            assert memory.is_full(40)
+
+    @pytest.mark.parametrize("opcode", sorted(LOAD_FLAVORS, key=int))
+    def test_empty_location(self, memory, opcode):
+        flavor = LOAD_FLAVORS[opcode]
+        memory.write_word(40, 77)
+        memory.set_full(40, False)
+        value, was_full, trap = memory.sync_load(40, flavor)
+        assert not was_full
+        if flavor.trap_on_empty:
+            assert trap is TrapKind.EMPTY_LOAD
+            # The access did not complete: state untouched.
+            assert not memory.is_full(40)
+        else:
+            assert trap is None
+            assert value == 77
+
+
+class TestTable2StoreMatrix:
+    @pytest.mark.parametrize("opcode", sorted(STORE_FLAVORS, key=int))
+    def test_empty_location_always_stores(self, memory, opcode):
+        flavor = STORE_FLAVORS[opcode]
+        memory.set_full(40, False)
+        was_full, trap = memory.sync_store(40, 55, flavor)
+        assert not was_full
+        assert trap is None
+        assert memory.read_word(40) == 55
+        if flavor.set_full:
+            assert memory.is_full(40)
+        elif not flavor.raw:
+            assert not memory.is_full(40)
+
+    @pytest.mark.parametrize("opcode", sorted(STORE_FLAVORS, key=int))
+    def test_full_location(self, memory, opcode):
+        flavor = STORE_FLAVORS[opcode]
+        memory.write_word(40, 1)
+        was_full, trap = memory.sync_store(40, 99, flavor)
+        assert was_full
+        if flavor.trap_on_full and not flavor.raw:
+            assert trap is TrapKind.FULL_STORE
+            assert memory.read_word(40) == 1   # store did not complete
+        else:
+            assert trap is None
+            assert memory.read_word(40) == 99
+
+
+class TestProducerConsumer:
+    """The I-structure idiom: stf fills, lde empties (Section 3.3)."""
+
+    def test_handoff(self, memory):
+        produce = STORE_FLAVORS[Opcode.STFTT]   # store, set full, trap if full
+        consume = LOAD_FLAVORS[Opcode.LDETT]    # load, set empty, trap if empty
+
+        memory.set_full(80, False)
+        # Consumer arrives first: traps.
+        _, _, trap = memory.sync_load(80, consume)
+        assert trap is TrapKind.EMPTY_LOAD
+        # Producer fills.
+        _, trap = memory.sync_store(80, 42, produce)
+        assert trap is None
+        # Consumer retries: gets the value and re-empties the slot.
+        value, _, trap = memory.sync_load(80, consume)
+        assert trap is None and value == 42
+        assert not memory.is_full(80)
+        # Producer can fill again (the slot is a one-word channel).
+        _, trap = memory.sync_store(80, 43, produce)
+        assert trap is None
+
+    def test_double_produce_traps(self, memory):
+        produce = STORE_FLAVORS[Opcode.STFTT]
+        memory.set_full(80, False)
+        memory.sync_store(80, 1, produce)
+        _, trap = memory.sync_store(80, 2, produce)
+        assert trap is TrapKind.FULL_STORE

@@ -1,0 +1,182 @@
+"""Heap allocator and tagged object layout tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeSystemError
+from repro.isa import tags
+from repro.mem.memory import Memory
+from repro.runtime.heap import (
+    Arena, Heap, TYPE_CLOSURE, TYPE_VECTOR, header_length, header_type,
+    make_header,
+)
+
+
+@pytest.fixture
+def heap():
+    memory = Memory(4096)
+    return Heap(Arena(memory, 0x100, 0x3000))
+
+
+class TestArena:
+    def test_alignment(self):
+        arena = Arena(Memory(1024), 0x100, 0x800)
+        a = arena.allocate(1)
+        b = arena.allocate(3)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 8
+
+    def test_exhaustion_raises(self):
+        arena = Arena(Memory(64), 0, 64)
+        arena.allocate(14)
+        with pytest.raises(RuntimeSystemError):
+            arena.allocate(4)
+
+    def test_bad_bounds(self):
+        with pytest.raises(RuntimeSystemError):
+            Arena(Memory(64), 4, 64)        # unaligned base
+        with pytest.raises(RuntimeSystemError):
+            Arena(Memory(64), 64, 64)       # empty
+
+    def test_free_words(self):
+        arena = Arena(Memory(64), 0, 64)
+        before = arena.free_words
+        arena.allocate(2)
+        assert arena.free_words == before - 2
+
+
+class TestHeaders:
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=100000))
+    def test_roundtrip(self, type_code, length):
+        word = make_header(type_code, length)
+        assert header_type(word) == type_code
+        assert header_length(word) == length
+
+
+class TestCons:
+    def test_car_cdr(self, heap):
+        pair = heap.cons(tags.make_fixnum(1), tags.make_fixnum(2))
+        assert tags.is_cons(pair)
+        assert tags.fixnum_value(heap.car(pair)) == 1
+        assert tags.fixnum_value(heap.cdr(pair)) == 2
+
+    def test_set_car_cdr(self, heap):
+        pair = heap.cons(0, 0)
+        heap.set_car(pair, tags.make_fixnum(9))
+        heap.set_cdr(pair, tags.make_fixnum(8))
+        assert tags.fixnum_value(heap.car(pair)) == 9
+        assert tags.fixnum_value(heap.cdr(pair)) == 8
+
+    def test_distinct_cells(self, heap):
+        a = heap.cons(0, 0)
+        b = heap.cons(0, 0)
+        assert tags.pointer_address(a) != tags.pointer_address(b)
+
+
+class TestVectors:
+    def test_layout(self, heap):
+        vec = heap.vector(3, fill=tags.make_fixnum(7))
+        assert tags.is_other(vec)
+        assert heap.vector_length(vec) == 3
+        for i in range(3):
+            assert tags.fixnum_value(heap.vector_ref(vec, i)) == 7
+
+    def test_set(self, heap):
+        vec = heap.vector(2)
+        heap.vector_set(vec, 1, tags.make_fixnum(42))
+        assert tags.fixnum_value(heap.vector_ref(vec, 1)) == 42
+
+    def test_bounds_checked(self, heap):
+        vec = heap.vector(2)
+        with pytest.raises(RuntimeSystemError):
+            heap.vector_ref(vec, 2)
+        with pytest.raises(RuntimeSystemError):
+            heap.vector_set(vec, -1, 0)
+
+    def test_header_type(self, heap):
+        vec = heap.vector(1)
+        header = heap.memory.read_word(tags.pointer_address(vec))
+        assert header_type(header) == TYPE_VECTOR
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=20))
+    def test_roundtrip_property(self, values):
+        heap = Heap(Arena(Memory(4096), 0x100, 0x3000))
+        vec = heap.vector(len(values))
+        for i, v in enumerate(values):
+            heap.vector_set(vec, i, tags.make_fixnum(v))
+        assert [tags.fixnum_value(heap.vector_ref(vec, i))
+                for i in range(len(values))] == values
+
+
+class TestClosures:
+    def test_layout(self, heap):
+        clo = heap.closure(0x1234, [tags.make_fixnum(5)])
+        assert heap.closure_code(clo) == 0x1234
+        assert tags.fixnum_value(heap.closure_capture(clo, 0)) == 5
+        header = heap.memory.read_word(tags.pointer_address(clo))
+        assert header_type(header) == TYPE_CLOSURE
+        assert header_length(header) == 1
+
+
+class TestFutureCells:
+    def test_starts_unresolved(self, heap):
+        future = heap.future_cell()
+        assert tags.is_future(future)
+        assert not heap.future_is_resolved(future)
+
+    def test_resolution(self, heap):
+        future = heap.future_cell()
+        heap.resolve_future(future, tags.make_fixnum(11))
+        assert heap.future_is_resolved(future)
+        assert tags.fixnum_value(heap.future_value(future)) == 11
+
+    def test_double_resolve_raises(self, heap):
+        future = heap.future_cell()
+        heap.resolve_future(future, 0)
+        with pytest.raises(RuntimeSystemError):
+            heap.resolve_future(future, 0)
+
+    def test_reading_unresolved_raises(self, heap):
+        future = heap.future_cell()
+        with pytest.raises(RuntimeSystemError):
+            heap.future_value(future)
+
+    def test_resolution_is_the_fe_bit(self, heap):
+        # "The future is resolved if the full/empty bit of the future's
+        # value slot is set to full" (Section 6.2).
+        future = heap.future_cell()
+        cell = tags.pointer_address(future)
+        assert not heap.memory.is_full(cell)
+        heap.resolve_future(future, 0)
+        assert heap.memory.is_full(cell)
+
+
+class TestConversion:
+    def test_list_roundtrip(self, heap):
+        nil = heap.singleton(0)
+        true = heap.singleton(1)
+        word = heap.from_python([1, [2, 3], 4], nil, true)
+        assert heap.to_python(word, nil, true) == [1, [2, 3], 4]
+
+    def test_booleans(self, heap):
+        nil = heap.singleton(0)
+        true = heap.singleton(1)
+        assert heap.to_python(heap.from_python(True, nil, true),
+                              nil, true) is True
+        assert heap.to_python(heap.from_python(False, nil, true),
+                              nil, true) == []
+
+    def test_string(self, heap):
+        word = heap.string("hi")
+        assert heap.to_python(word) == "hi"
+
+    def test_future_decodes_through(self, heap):
+        future = heap.future_cell()
+        heap.resolve_future(future, tags.make_fixnum(3))
+        assert heap.to_python(future) == 3
+
+    def test_unresolved_future_marked(self, heap):
+        assert heap.to_python(heap.future_cell()) == "<unresolved future>"

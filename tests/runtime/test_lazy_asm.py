@@ -1,0 +1,94 @@
+"""Lazy task creation integration tests (hand-written assembly).
+
+The lazy protocol requires the compiled-code convention that every live
+value of the continuation — including the return address — is on the
+stack when ``V_LAZY_PUSH`` traps, so a stolen continuation can resume
+from the stack copy alone (plus ``a0`` = the future).
+"""
+
+from repro.isa.assembler import assemble
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.runtime import stubs
+
+HDR_CLOSURE0 = 2
+
+#: main does (lazy-future (child)) + 2 with the full stack discipline.
+LAZY_BODY = """
+main:
+    st ra, [sp+0]
+    addr sp, 8, sp
+    set resume, t7
+    trap {push}
+    call child
+    trap {finish}
+resume:
+    add a0, 8, a0        ; + fixnum(2); traps if a0 is an unresolved future
+    subr sp, 8, sp
+    ld [sp+0], ra
+    ret
+
+child:                   ; leaf: spins a while, returns fixnum(5)
+    set {iters}, t0
+loop:
+    cmpr t0, 0
+    ble done
+    ba loop
+    @subr t0, 1, t0
+done:
+    set 20, a0
+    ret
+"""
+
+
+def build(iters=0, **config_kwargs):
+    source = stubs.thread_start_stub() + LAZY_BODY.format(
+        push=stubs.V_LAZY_PUSH, finish=stubs.V_LAZY_FINISH, iters=iters)
+    config = MachineConfig(lazy_futures=True, **config_kwargs)
+    return AlewifeMachine(assemble(source), config)
+
+
+class TestUnstolen:
+    def test_single_cpu_inline(self):
+        machine = build(iters=0, num_processors=1)
+        result = machine.run()
+        assert result.value == 7
+        # No task was ever created: pure push/pop.
+        assert result.stats.lazy_pushed == 1
+        assert result.stats.lazy_stolen == 0
+        assert result.stats.futures_created == 0
+        assert result.stats.threads_created == 1
+
+    def test_inline_cost_is_small(self):
+        # The whole point of lazy task creation: an unstolen future
+        # costs only the push/finish traps, far less than eager creation.
+        lazy = build(iters=0, num_processors=1).run()
+        eager_config = MachineConfig(num_processors=1)
+        assert lazy.cycles < eager_config.eager_task_create_cycles * 3
+
+
+class TestStolen:
+    def test_two_cpus_steal_continuation(self):
+        machine = build(iters=300, num_processors=2)
+        result = machine.run()
+        assert result.value == 7
+        assert result.stats.lazy_stolen == 1
+        assert result.stats.futures_created == 1
+        assert result.stats.futures_resolved == 1
+        # The stolen continuation became a second thread.
+        assert result.stats.threads_created == 2
+
+    def test_steal_transfers_root(self):
+        machine = build(iters=300, num_processors=2)
+        result = machine.run()
+        threads = machine.runtime.threads
+        # The thief's thread (the stolen continuation) finished the run.
+        assert threads[1].name.startswith("steal-of-")
+        assert threads[1].is_root
+        assert not threads[0].is_root
+
+    def test_both_cpus_did_work(self):
+        machine = build(iters=300, num_processors=2)
+        machine.run()
+        assert machine.cpus[0].stats.instructions > 0
+        assert machine.cpus[1].stats.instructions > 0

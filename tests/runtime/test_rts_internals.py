@@ -1,0 +1,151 @@
+"""RuntimeSystem internals: stacks, heaps, spawn, deadlock detection,
+and lazy-steal bookkeeping invariants."""
+
+import pytest
+
+from repro.errors import RuntimeSystemError, SimulationError
+from repro.isa import tags
+from repro.isa.assembler import assemble
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.runtime import stubs
+from repro.runtime.thread import ThreadState
+
+
+def build(body="main:\n    set 0, a0\n    ret\n", **config):
+    source = stubs.thread_start_stub() + body
+    return AlewifeMachine(assemble(source), MachineConfig(**config))
+
+
+class TestHeapLayout:
+    def test_arenas_disjoint_per_node(self):
+        machine = build(num_processors=3)
+        runtime = machine.runtime
+        spans = []
+        for node in range(3):
+            user = runtime._user_arenas[node]
+            kernel = runtime.kernel_heap(node).arena
+            spans.append((user.base, user.limit))
+            spans.append((kernel.base, kernel.limit))
+        spans.sort()
+        for (b1, l1), (b2, _l2) in zip(spans, spans[1:]):
+            assert l1 <= b2, "arena overlap"
+
+    def test_arenas_start_after_program(self):
+        machine = build()
+        assert machine.runtime._user_arenas[0].base >= machine.program.end
+
+    def test_globals_initialized(self):
+        from repro.isa import registers
+        machine = build(num_processors=2)
+        for cpu in machine.cpus:
+            assert cpu.read_reg(registers.GP) > 0
+            assert cpu.read_reg(registers.GL) > cpu.read_reg(registers.GP)
+            assert cpu.read_reg(registers.NIL) == machine.runtime.nil
+            assert cpu.read_reg(registers.TRUE) == machine.runtime.true
+
+    def test_singletons_distinct(self):
+        machine = build()
+        assert machine.runtime.nil != machine.runtime.true
+
+
+class TestStacks:
+    def test_free_list_reuse(self):
+        machine = build()
+        runtime = machine.runtime
+        base = runtime.allocate_stack(0)
+        thread = runtime.new_thread(0)
+        thread.stack_base = base
+        runtime.free_stack(thread)
+        assert runtime.allocate_stack(0) == base
+
+    def test_free_is_idempotent_per_thread(self):
+        machine = build()
+        runtime = machine.runtime
+        thread = runtime.new_thread(0)
+        thread.stack_base = runtime.allocate_stack(0)
+        runtime.free_stack(thread)
+        runtime.free_stack(thread)   # no double free: stack_base cleared
+        assert len(runtime._stack_free_lists[0]) == 1
+
+
+class TestSpawn:
+    def test_spawn_main_queues_on_node_zero(self):
+        machine = build()
+        thread = machine.runtime.spawn_main("main")
+        assert thread.is_root
+        assert thread.state is ThreadState.READY
+        assert machine.runtime.scheduler.ready[0][-1] is thread
+
+    def test_spawn_args_become_fixnums(self):
+        machine = build()
+        thread = machine.runtime.spawn_main("main", (3, -4))
+        assert thread.args == (tags.make_fixnum(3), tags.make_fixnum(-4))
+
+    def test_unknown_entry_raises(self):
+        machine = build()
+        with pytest.raises(Exception):
+            machine.runtime.spawn_main("nosuch")
+
+
+class TestResolution:
+    def test_resolve_wakes_waiters(self):
+        machine = build(num_processors=2)
+        runtime = machine.runtime
+        future = runtime.kernel_heap(0).future_cell()
+        waiter = runtime.new_thread(1)
+        waiter.transition(ThreadState.LOADED)
+        waiter.transition(ThreadState.BLOCKED)
+        waiter.blocked_on = future
+        runtime.futures.add_waiter(future, waiter)
+        runtime.resolve_future(machine.cpus[0], future, tags.make_fixnum(5))
+        assert waiter.state is ThreadState.READY
+        assert waiter in runtime.scheduler.ready[1]
+        assert runtime.futures.waiting_count() == 0
+
+    def test_double_resolve_raises(self):
+        machine = build()
+        runtime = machine.runtime
+        future = runtime.kernel_heap(0).future_cell()
+        runtime.resolve_future(machine.cpus[0], future, 0)
+        with pytest.raises(RuntimeSystemError):
+            runtime.resolve_future(machine.cpus[0], future, 0)
+
+
+class TestDeadlockDetection:
+    def test_blocked_only_machine_raises(self):
+        """A program whose only thread blocks forever on a never-
+        resolved future dies with a deadlock diagnosis, not a hang."""
+        body = """
+        main:
+            mov gp, t0           ; hand-build an unresolved future word
+            or t0, 5, t1
+            addr gp, 8, gp
+            add t1, 4, a0        ; touch it: spins, blocks, deadlock
+            ret
+        """
+        machine = build(body, num_processors=1, touch_spin_limit=1)
+        # Mark the future cell empty (unresolved).
+        gp = machine.cpus[0].read_reg(
+            __import__("repro.isa.registers", fromlist=["GP"]).GP)
+        machine.memory.set_full(gp, False)
+        with pytest.raises(SimulationError) as info:
+            machine.run(max_cycles=1_000_000)
+        assert "deadlock" in str(info.value)
+
+    def test_check_deadlock_quiet_when_working(self):
+        machine = build()
+        machine.runtime.spawn_main("main")
+        machine.runtime.check_deadlock()   # ready thread exists: fine
+
+
+class TestFutureTable:
+    def test_shutdown_check(self):
+        from repro.runtime.futures import FutureTable
+        table = FutureTable()
+        table.check_empty_on_shutdown()    # empty: fine
+        machine = build()
+        thread = machine.runtime.new_thread(0)
+        table.add_waiter(tags.make_future(0x40), thread)
+        with pytest.raises(RuntimeSystemError):
+            table.check_empty_on_shutdown()

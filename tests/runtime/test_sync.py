@@ -1,0 +1,227 @@
+"""Full/empty-bit synchronization library: locks, I-structures, barriers.
+
+Multi-processor assembly programs exercising mutual exclusion and
+producer/consumer handoff through the Section 3.3 structures.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.tags import fixnum_value, make_fixnum
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.runtime import stubs
+from repro.runtime.sync import SYNC_ASM, SyncAllocator
+
+
+def build(body, processors=2, **overrides):
+    source = stubs.thread_start_stub() + SYNC_ASM + body
+    config = MachineConfig(num_processors=processors, **overrides)
+    return AlewifeMachine(assemble(source), config)
+
+
+def make_thunk(label):
+    return """
+    mov gp, t0
+    set 2, t1
+    str t1, [t0+0]
+    set %s, t1
+    str t1, [t0+4]
+    addr gp, 8, gp
+    or t0, 2, a0
+    """ % label
+
+
+class TestLock:
+    def test_mutual_exclusion_under_contention(self):
+        """Two threads each add 1 to a shared counter 25 times under the
+        lock; without mutual exclusion increments would be lost."""
+        body = """
+        .equ ROUNDS, 25
+        main:
+            st ra, [sp+0]
+            addr sp, 4, sp
+            %s
+            set 4, a1
+            trap %d          ; future-on node 1: second worker
+            subr sp, 4, sp
+            ld [sp+0], ra
+            st a0, [sp+0]    ; save the future
+            addr sp, 4, sp
+            st ra, [sp+0]
+            addr sp, 4, sp
+            call worker      ; first worker runs here
+            subr sp, 4, sp
+            ld [sp+0], ra
+            subr sp, 4, sp
+            ldr [sp+0], a0
+            add a0, 0, a0    ; touch: wait for the second worker
+            set counter, t0
+            ldr [t0+0], a0
+            ret
+
+        worker:
+            st ra, [sp+0]
+            set ROUNDS, t3
+            st t3, [sp+4]
+            addr sp, 8, sp
+        wloop:
+            set lock, a0
+            call __lock_acquire
+            set counter, t2
+            ldr [t2+0], t3
+            addr t3, 4, t3   ; counter += fixnum(1)
+            str t3, [t2+0]
+            set lock, a0
+            call __lock_release
+            ldr [sp-4], t3
+            subr t3, 1, t3
+            str t3, [sp-4]
+            cmpr t3, 0
+            bg wloop
+            set 0, a0
+            subr sp, 8, sp
+            ld [sp+0], ra
+            ret
+
+        .align 8
+        lock:
+            .word 0
+        counter:
+            .fixnum 0
+        """ % (make_thunk("worker"), stubs.V_FUTURE_ON)
+        machine = build(body, processors=2)
+        result = machine.run()
+        assert result.value == 50
+
+    def test_lock_allocator(self):
+        machine = build("main:\n    set 0, a0\n    ret\n")
+        sync = SyncAllocator(machine)
+        lock = sync.new_lock()
+        assert sync.lock_is_free(lock)
+
+
+class TestIStructure:
+    def test_producer_consumer_across_nodes(self):
+        """The consumer starts first and waits (switch-spinning) on an
+        empty I-structure slot until the remote producer fills it."""
+        body = """
+        main:
+            st ra, [sp+0]
+            addr sp, 4, sp
+            %s
+            set 4, a1
+            trap %d              ; producer on node 1
+            subr sp, 4, sp
+            ld [sp+0], ra
+            set slot, a0
+            st ra, [sp+0]
+            addr sp, 4, sp
+            call __ifetch        ; waits for the producer
+            subr sp, 4, sp
+            ld [sp+0], ra
+            ret
+
+        producer:
+            set wait_count, t0   ; dawdle so the consumer really waits
+            set 50, t1
+        ploop:
+            cmpr t1, 0
+            ble fill
+            ba ploop
+            @subr t1, 1, t1
+        fill:
+            st ra, [sp+0]
+            addr sp, 4, sp
+            set slot, a0
+            set 168, a1          ; fixnum(42)
+            call __istore
+            subr sp, 4, sp
+            ld [sp+0], ra
+            set 0, a0
+            ret
+
+        .align 8
+        slot:
+            .word 0
+        wait_count:
+            .word 0
+        """ % (make_thunk("producer"), stubs.V_FUTURE_ON)
+        machine = build(body, processors=2)
+        machine.memory.load_program(machine.program)
+        # Make the slot empty before the run.
+        machine.memory.set_full(machine.program.address_of("slot"), False)
+        result = machine.run()
+        assert result.value == 42
+
+    def test_istructure_allocator(self):
+        machine = build("main:\n    set 0, a0\n    ret\n")
+        sync = SyncAllocator(machine)
+        base = sync.new_istructure_array(4)
+        assert not machine.memory.is_full(base)
+        machine.memory.write_word(base, make_fixnum(9))
+        machine.memory.set_full(base, True)
+        assert fixnum_value(sync.istructure_value(base, 0)) == 9
+
+    def test_reading_empty_slot_raises(self):
+        machine = build("main:\n    set 0, a0\n    ret\n")
+        sync = SyncAllocator(machine)
+        base = sync.new_istructure_array(2)
+        with pytest.raises(Exception):
+            sync.istructure_value(base, 1)
+
+
+class TestBarrier:
+    def test_two_threads_rendezvous(self):
+        """Worker on node 1 writes a value, then both cross a barrier;
+        main reads the value only after the barrier — so it must see it."""
+        body = """
+        main:
+            st ra, [sp+0]
+            addr sp, 4, sp
+            %s
+            set 4, a1
+            trap %d
+            set barrier, a0
+            call __barrier_wait
+            set shared, t0
+            ldr [t0+0], a0
+            subr sp, 4, sp
+            ld [sp+0], ra
+            ret
+
+        worker:
+            st ra, [sp+0]
+            addr sp, 4, sp
+            set shared, t0
+            set 292, t1      ; fixnum(73)
+            str t1, [t0+0]
+            set barrier, a0
+            call __barrier_wait
+            subr sp, 4, sp
+            ld [sp+0], ra
+            set 0, a0
+            ret
+
+        .align 8
+        barrier:
+            .word 0          ; lock
+            .fixnum 2        ; remaining
+            .fixnum 2        ; total
+            .word 0          ; sense
+        shared:
+            .fixnum 0
+        """ % (make_thunk("worker"), stubs.V_FUTURE_ON)
+        machine = build(body, processors=2)
+        sense = machine.program.address_of("barrier") + 12
+        machine.memory.set_full(sense, False)
+        result = machine.run()
+        assert result.value == 73
+
+    def test_barrier_allocator_layout(self):
+        machine = build("main:\n    set 0, a0\n    ret\n")
+        sync = SyncAllocator(machine)
+        base = sync.new_barrier(3)
+        assert machine.memory.is_full(base)            # lock free
+        assert not machine.memory.is_full(base + 12)   # sense empty
+        assert fixnum_value(machine.memory.read_word(base + 4)) == 3

@@ -1,0 +1,83 @@
+"""Workload correctness: compiled results match native references and the
+reference Mul-T interpreter (differential testing)."""
+
+import pytest
+
+from repro import workloads
+from repro.lang.interp import interpret
+from repro.lang.run import run_mult
+
+
+SMALL_ARGS = {
+    "fib": (8,),
+    "factor": (2, 21),
+    "queens": (4,),
+    "speech": (4, 4),
+}
+
+SMALL_EXPECTED = {
+    "fib": 21,
+    "factor": None,    # computed below
+    "queens": 2,
+    "speech": None,
+}
+
+
+def small_args(name):
+    return SMALL_ARGS[name]
+
+
+def expected(module, args):
+    if module.NAME == "fib":
+        return module.reference(args[0])
+    if module.NAME == "factor":
+        return module.reference(args[0], args[1] - args[0] + 1)
+    if module.NAME == "queens":
+        return module.reference(args[0])
+    return module.reference(*args)
+
+
+@pytest.mark.parametrize("module", workloads.ALL, ids=lambda m: m.NAME)
+class TestAgainstNativeReference:
+    def test_sequential(self, module):
+        args = small_args(module.NAME)
+        result = run_mult(module.source(), mode="sequential", args=args)
+        assert result.value == expected(module, args)
+
+    def test_eager_two_cpus(self, module):
+        args = small_args(module.NAME)
+        result = run_mult(module.source(), mode="eager", processors=2,
+                          args=args)
+        assert result.value == expected(module, args)
+
+    def test_lazy_four_cpus(self, module):
+        args = small_args(module.NAME)
+        result = run_mult(module.source(), mode="lazy", processors=4,
+                          args=args)
+        assert result.value == expected(module, args)
+
+
+@pytest.mark.parametrize("module", workloads.ALL, ids=lambda m: m.NAME)
+class TestAgainstInterpreter:
+    def test_interpreter_agrees(self, module):
+        args = small_args(module.NAME)
+        interp_value, _ = interpret(module.source(), args=args)
+        compiled = run_mult(module.source(), mode="sequential", args=args)
+        assert compiled.value == interp_value
+
+    def test_interpreter_matches_native(self, module):
+        args = small_args(module.NAME)
+        interp_value, _ = interpret(module.source(), args=args)
+        assert interp_value == expected(module, args)
+
+
+class TestDefaultSizes:
+    def test_default_args_exist(self):
+        for module in workloads.ALL:
+            assert module.args()
+            assert module.reference() is not None
+
+    def test_lookup(self):
+        assert workloads.get("fib").NAME == "fib"
+        with pytest.raises(KeyError):
+            workloads.get("nope")
