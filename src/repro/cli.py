@@ -4,12 +4,16 @@ Subcommands::
 
     april run PROGRAM.mult [-p CPUS] [--mode eager|lazy|sequential]
                            [--encore] [--coherent] [--args 10 ...]
+                           [--json] [--profile] [--timeline]
+                           [--events out.json] [--window N]
+    april report PROGRAM.mult [run options] [--out report.json]
     april asm PROGRAM.s          # assemble + list
     april table3 [--programs fib factor]
     april figure5
 """
 
 import argparse
+import json
 import sys
 
 from repro.harness.figure5 import render_report
@@ -18,11 +22,10 @@ from repro.isa.assembler import assemble
 from repro.isa.disassembler import disassemble
 from repro.lang.run import run_mult
 from repro.machine.config import MachineConfig
+from repro.obs import Observation
 
 
-def _cmd_run(args):
-    with open(args.program) as handle:
-        source = handle.read()
+def _build_config(args):
     config = MachineConfig(
         num_processors=args.processors,
         memory_mode="coherent" if args.coherent else "ideal",
@@ -30,15 +33,94 @@ def _cmd_run(args):
     if args.encore:
         from repro.baselines.encore import encore_config
         config = encore_config(args.processors)
+    return config
+
+
+def _build_observation(args, force=False):
+    """An Observation when any observability flag asks for one."""
+    profile = getattr(args, "profile", False)
+    events = getattr(args, "events", None)
+    timeline = getattr(args, "timeline", False)
+    if not (force or profile or events or timeline):
+        return None
+    return Observation(
+        events=bool(events) or force,
+        window=args.window,
+        profile=profile or force,
+    )
+
+
+def _run_observed(args, force_obs=False):
+    with open(args.program) as handle:
+        source = handle.read()
+    obs = _build_observation(args, force=force_obs)
     result = run_mult(source, mode=args.mode, args=tuple(args.args),
-                      software_checks=args.encore, config=config)
-    for line in result.output:
-        print(line)
-    print("result:", result.value)
-    print("cycles: %d   utilization: %.1f%%   futures: %d   switches: %d"
-          % (result.cycles, 100 * result.stats.utilization,
-             result.stats.futures_created, result.stats.context_switches))
+                      software_checks=args.encore,
+                      config=_build_config(args), observe=obs)
+    return result, obs
+
+
+def _cmd_run(args):
+    result, obs = _run_observed(args)
+
+    if args.json:
+        payload = {
+            "result": result.value,
+            "cycles": result.cycles,
+            "output": result.output,
+            "stats": result.stats.to_dict(),
+        }
+        if obs is not None:
+            payload.update(obs.to_dict())
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in result.output:
+            print(line)
+        print("result:", result.value)
+        print("cycles: %d   utilization: %.1f%%   futures: %d   switches: %d"
+              % (result.cycles, 100 * result.stats.utilization,
+                 result.stats.futures_created, result.stats.context_switches))
+        if obs is not None and obs.profiler is not None:
+            print()
+            print(obs.profiler.report(top=args.top))
+        if obs is not None and args.timeline and obs.sampler is not None:
+            print()
+            print(obs.sampler.render())
+
+    return _write_trace(obs, args)
+
+
+def _write_trace(obs, args):
+    """Write the Perfetto trace if requested; clean error, not a traceback."""
+    if obs is None or not args.events:
+        return 0
+    try:
+        path = obs.write_perfetto(args.events)
+    except OSError as exc:
+        print("error: cannot write %s: %s" % (args.events, exc.strerror),
+              file=sys.stderr)
+        return 1
+    print("wrote Perfetto trace to %s (open in ui.perfetto.dev)" % path,
+          file=sys.stderr)
     return 0
+
+
+def _cmd_report(args):
+    result, obs = _run_observed(args, force_obs=True)
+    report = obs.report(result=result, top=args.top)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print("error: cannot write %s: %s" % (args.out, exc.strerror),
+                  file=sys.stderr)
+            return 1
+        print("wrote report to %s" % args.out, file=sys.stderr)
+    else:
+        print(text)
+    return _write_trace(obs, args)
 
 
 def _cmd_asm(args):
@@ -60,6 +142,25 @@ def _cmd_figure5(args):
     return 0
 
 
+def _add_machine_options(cmd):
+    cmd.add_argument("program")
+    cmd.add_argument("-p", "--processors", type=int, default=1)
+    cmd.add_argument("--mode", default="eager",
+                     choices=("eager", "lazy", "sequential"))
+    cmd.add_argument("--encore", action="store_true",
+                     help="Encore Multimax baseline configuration")
+    cmd.add_argument("--coherent", action="store_true",
+                     help="full caches + directory + network")
+    cmd.add_argument("--args", type=int, nargs="*", default=[],
+                     help="fixnum arguments passed to (main ...)")
+    cmd.add_argument("--events", metavar="FILE",
+                     help="write a Perfetto/Chrome trace JSON of the run")
+    cmd.add_argument("--window", type=int, default=4096,
+                     help="utilization sampler window in cycles")
+    cmd.add_argument("--top", type=int, default=20,
+                     help="profile entries to show/emit")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="april",
@@ -68,17 +169,21 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = sub.add_parser("run", help="compile and run a Mul-T program")
-    run_cmd.add_argument("program")
-    run_cmd.add_argument("-p", "--processors", type=int, default=1)
-    run_cmd.add_argument("--mode", default="eager",
-                         choices=("eager", "lazy", "sequential"))
-    run_cmd.add_argument("--encore", action="store_true",
-                         help="Encore Multimax baseline configuration")
-    run_cmd.add_argument("--coherent", action="store_true",
-                         help="full caches + directory + network")
-    run_cmd.add_argument("--args", type=int, nargs="*", default=[],
-                         help="fixnum arguments passed to (main ...)")
+    _add_machine_options(run_cmd)
+    run_cmd.add_argument("--json", action="store_true",
+                         help="machine-readable result on stdout")
+    run_cmd.add_argument("--profile", action="store_true",
+                         help="hot-path profile with source attribution")
+    run_cmd.add_argument("--timeline", action="store_true",
+                         help="per-node utilization timeline")
     run_cmd.set_defaults(func=_cmd_run)
+
+    report_cmd = sub.add_parser(
+        "report", help="run a program and emit the full JSON machine report")
+    _add_machine_options(report_cmd)
+    report_cmd.add_argument("--out", metavar="FILE",
+                            help="write the report here instead of stdout")
+    report_cmd.set_defaults(func=_cmd_report)
 
     asm_cmd = sub.add_parser("asm", help="assemble and list APRIL assembly")
     asm_cmd.add_argument("program")

@@ -41,6 +41,7 @@ from repro.isa.instructions import (
     Opcode,
 )
 from repro.isa.tags import WORD_MASK
+from repro.obs.events import EventKind
 
 #: Cycle-cost categories tracked by :attr:`Processor.stats`.
 CATEGORIES = ("useful", "stall", "trap", "switch", "spin", "idle")
@@ -115,6 +116,12 @@ class Processor:
         self.trap_squash_cycles = TRAP_SQUASH_CYCLES
         #: Optional per-instruction callback(cpu, pc, instr) for tracing.
         self.trace_hook = None
+        #: Optional per-instruction callback(cpu, pc, instr) for profiling.
+        self.profile_hook = None
+        #: Optional per-trap callback(cpu, frame, trap) at trap entry.
+        self.trap_hook = None
+        #: Optional :class:`repro.obs.events.EventBus` (None = no-op hooks).
+        self.events = None
         #: Opaque slot for the run-time system (scheduler, queues...).
         self.env = None
 
@@ -186,6 +193,8 @@ class Processor:
 
         if self.trace_hook is not None:
             self.trace_hook(self, pc, instr)
+        if self.profile_hook is not None:
+            self.profile_hook(self, pc, instr)
         npc = frame.npc
         try:
             next_pc, next_npc = self._execute(frame, instr, pc, npc)
@@ -220,11 +229,21 @@ class Processor:
         run the handler in the trapping frame, apply its action."""
         self.charge(self.trap_squash_cycles, "trap")
         self.stats.count_trap(trap.kind)
+        if self.trap_hook is not None:
+            self.trap_hook(self, frame, trap)
+        if self.events is not None:
+            self.events.emit(
+                EventKind.TRAP_ENTER, self.cycles, self.node_id,
+                trap=trap.kind.name, pc=trap.pc, frame=frame.index)
         frame.enter_trap()
         handler = self.trap_table.lookup(trap)
         action = handler(self, frame, trap)
         if action is None:
             raise ProcessorError("trap handler returned no action for %r" % trap)
+        if self.events is not None:
+            self.events.emit(
+                EventKind.TRAP_EXIT, self.cycles, self.node_id,
+                trap=trap.kind.name, action=action.name, frame=self.fp)
         if action is TrapAction.RETRY or action is TrapAction.SWITCHED:
             # PC chain untouched: the trapping instruction re-executes
             # when this frame next runs.

@@ -7,12 +7,14 @@ from repro.machine.config import MachineConfig
 
 def run_mult(source, mode="eager", processors=1, software_checks=False,
              config=None, entry="main", args=(), max_cycles=200_000_000,
-             optimize=False):
+             optimize=False, observe=None):
     """Compile ``source`` and run its ``entry`` function.
 
     Returns the :class:`~repro.machine.alewife.MachineResult`; its
     ``value`` field holds the decoded Python value of the result and
-    ``cycles`` the simulated run time.
+    ``cycles`` the simulated run time.  Pass an
+    :class:`~repro.obs.Observation` as ``observe`` to capture events,
+    utilization timelines, and profiles from the run.
     """
     compiled = compile_source(source, mode=mode,
                               software_checks=software_checks,
@@ -22,5 +24,7 @@ def run_mult(source, mode="eager", processors=1, software_checks=False,
     if config.lazy_futures != compiled.wants_lazy_scheduling:
         config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
     machine = AlewifeMachine(compiled.program, config)
+    if observe is not None:
+        observe.attach(machine)
     return machine.run(entry=compiled.entry_label(entry), args=args,
                        max_cycles=max_cycles)

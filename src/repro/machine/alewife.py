@@ -50,6 +50,10 @@ class AlewifeMachine:
         self.memory = Memory(self.config.memory_words)
         self.memory.load_program(program)
         self.time = 0
+        #: Observability slots (see :mod:`repro.obs`): an attached
+        #: ``Observation`` wires these; ``None`` keeps the fast path.
+        self.sampler = None
+        self.events = None
         decoder = DecodeCache()
 
         self.cpus = []
@@ -97,6 +101,9 @@ class AlewifeMachine:
             when, _, index = heapq.heappop(queue)
             cpu = self.cpus[index]
             self.time = max(self.time, when)
+            sampler = self.sampler
+            if sampler is not None and self.time >= sampler.next_sample_at:
+                sampler.sample(self.time)
             if self.time > max_cycles:
                 raise SimulationError(
                     "cycle limit %d exceeded (deadlock or undersized limit)"
@@ -121,6 +128,8 @@ class AlewifeMachine:
             seq += 1
 
         self.time = max(self.time, max(cpu.cycles for cpu in self.cpus))
+        if self.sampler is not None:
+            self.sampler.finish(self.time)
         return MachineResult(self, runtime.result)
 
     def stats(self):

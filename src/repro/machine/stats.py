@@ -4,6 +4,10 @@ Aggregates the per-processor cycle categories into the quantities the
 paper reports: processor utilization (Figure 5's bands), context-switch
 counts, future/touch counts, and task-creation statistics (Table 3's
 overheads come from total run cycles).
+
+:meth:`MachineStats.to_dict` is the machine-readable form benchmarks
+and CI consume (``april run --json`` / ``april report``) instead of
+parsing the :meth:`render` text.
 """
 
 
@@ -43,6 +47,31 @@ class MachineStats:
     def system_power(self):
         """The paper's 'system power': processors x utilization."""
         return self.num_processors * self.utilization
+
+    def to_dict(self):
+        """JSON-ready snapshot of every aggregate plus the per-CPU rows."""
+        return {
+            "num_processors": self.num_processors,
+            "run_cycles": self.run_cycles,
+            "instructions": self.instructions,
+            "utilization": self.utilization,
+            "system_power": self.system_power,
+            "context_switches": self.context_switches,
+            "useful_cycles": self.useful_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "stall_cycles": self.stall_cycles,
+            "idle_cycles": self.idle_cycles,
+            "futures_created": self.futures_created,
+            "futures_resolved": self.futures_resolved,
+            "touches_resolved": self.touches_resolved,
+            "touches_unresolved": self.touches_unresolved,
+            "lazy_pushed": self.lazy_pushed,
+            "lazy_stolen": self.lazy_stolen,
+            "thread_loads": self.thread_loads,
+            "thread_unloads": self.thread_unloads,
+            "threads_created": self.threads_created,
+            "per_cpu": self.per_cpu,
+        }
 
     def render(self):
         """A human-readable multi-line report."""

@@ -18,6 +18,7 @@ Also implements the Section 3.4 mechanisms that live cache-side:
 import enum
 
 from repro.errors import ConfigError
+from repro.obs.events import EventKind
 
 
 class LineState(enum.Enum):
@@ -51,15 +52,27 @@ class CacheStats:
     def miss_rate(self):
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def to_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "evictions": self.evictions,
+            "invalidations_received": self.invalidations_received,
+            "flushes": self.flushes,
+        }
+
 
 class Cache:
     """State/tag array of one node's cache."""
 
-    def __init__(self, size_bytes=64 * 1024, block_bytes=16, assoc=4):
+    def __init__(self, size_bytes=64 * 1024, block_bytes=16, assoc=4,
+                 node_id=0):
         if size_bytes % (block_bytes * assoc):
             raise ConfigError("cache geometry does not divide evenly")
         if block_bytes & (block_bytes - 1):
             raise ConfigError("block size must be a power of two")
+        self.node_id = node_id
         self.block_bytes = block_bytes
         self.assoc = assoc
         self.num_sets = size_bytes // (block_bytes * assoc)
@@ -67,6 +80,8 @@ class Cache:
                       for _ in range(self.num_sets)]
         self._clock = 0
         self.stats = CacheStats()
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
         # Fence counters, one per hardware context (Section 3.4).
         self.fence_counters = {}
 
@@ -97,7 +112,7 @@ class Cache:
                 return line
         return None
 
-    def install(self, address, state):
+    def install(self, address, state, now=0):
         """Fill a line (evicting LRU if needed); returns the victim's
         ``(tag, state)`` when a valid line was displaced, else None."""
         lines, block = self._locate(address)
@@ -113,12 +128,16 @@ class Cache:
         if victim.state is not LineState.INVALID and victim.tag != block:
             displaced = (victim.tag, victim.state)
             self.stats.evictions += 1
+            if self.events is not None:
+                self.events.emit(
+                    EventKind.CACHE_EVICT, now, self.node_id,
+                    block=victim.tag, state=victim.state.value)
         victim.tag = block
         victim.state = state
         victim.last_used = self._clock
         return displaced
 
-    def invalidate(self, address):
+    def invalidate(self, address, now=0):
         """Drop the line (coherence invalidation); returns its old state."""
         line = self.probe(address)
         if line is None:
@@ -126,6 +145,10 @@ class Cache:
         old = line.state
         line.state = LineState.INVALID
         self.stats.invalidations_received += 1
+        if self.events is not None:
+            self.events.emit(
+                EventKind.CACHE_INVALIDATE, now, self.node_id,
+                block=line.tag, state=old.value)
         return old
 
     def downgrade(self, address):

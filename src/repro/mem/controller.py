@@ -24,6 +24,7 @@ from repro.core.memport import MemOutcome, MemoryPort
 from repro.core.traps import TrapKind
 from repro.errors import SimulationError
 from repro.mem.cache import LineState
+from repro.obs.events import EventKind
 
 #: Memory-mapped I/O register offsets (LDIO/STIO space).
 IO_BASE = 0xFFFF0000
@@ -50,6 +51,17 @@ class ControllerStats:
         self.block_transfers = 0
         self.ipis_sent = 0
 
+    def to_dict(self):
+        return {
+            "local_misses": self.local_misses,
+            "remote_misses": self.remote_misses,
+            "write_upgrades": self.write_upgrades,
+            "holds": self.holds,
+            "traps": self.traps,
+            "block_transfers": self.block_transfers,
+            "ipis_sent": self.ipis_sent,
+        }
+
 
 class CacheController(MemoryPort):
     """One node's cache + directory controller."""
@@ -61,6 +73,8 @@ class CacheController(MemoryPort):
         self.system = system          # CoherentMemorySystem (peers, net)
         self.pending = {}             # block -> completion time
         self.stats = ControllerStats()
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
         self._fence_acks = []         # (ack time, context id)
         self._ipi_target = 0
         self._bt_src = 0
@@ -139,22 +153,27 @@ class CacheController(MemoryPort):
                 # Local miss: the controller holds the processor (MHOLD).
                 self.stats.local_misses += 1
                 self.stats.holds += 1
-                self._fill(block, is_write)
+                self._fill(block, is_write, now)
                 self._last_cycles = max(completion - now, 1)
                 return None
             self.stats.remote_misses += 1
             self.pending[block] = completion
+            if self.events is not None:
+                self.events.emit(
+                    EventKind.REMOTE_MISS, now, self.node_id,
+                    block=block, home=self._home(block), write=is_write,
+                    ready_at=completion)
 
         if now >= completion:
             del self.pending[block]
-            self._fill(block, is_write)
+            self._fill(block, is_write, now)
             self._last_cycles = 1
             return None
 
         if wait:
             # Wait-flavor: hold the processor until the data arrives.
             del self.pending[block]
-            self._fill(block, is_write)
+            self._fill(block, is_write, now)
             self.stats.holds += 1
             self._last_cycles = max(completion - now, 1)
             return None
@@ -186,10 +205,10 @@ class CacheController(MemoryPort):
 
         if is_write:
             invalidees, fetch_from = directory.handle_write(
-                block, self.node_id)
+                block, self.node_id, now=arrive)
             acks_done = ready
             for victim in invalidees:
-                system.caches[victim].invalidate(block)
+                system.caches[victim].invalidate(block, now=ready)
                 ack = network.round_trip(
                     home, victim, REQUEST_FLITS, ACK_FLITS, ready)
                 acks_done = max(acks_done, ack)
@@ -201,7 +220,8 @@ class CacheController(MemoryPort):
                 remote_legs = True
             ready = acks_done
         else:
-            fetch_from = directory.handle_read(block, self.node_id)
+            fetch_from = directory.handle_read(block, self.node_id,
+                                               now=arrive)
             if fetch_from is not None and fetch_from != self.node_id:
                 system.caches[fetch_from].downgrade(block)
                 ready = network.round_trip(
@@ -211,10 +231,10 @@ class CacheController(MemoryPort):
         done = network.send(home, self.node_id, data_flits, ready)
         return done, not remote_legs
 
-    def _fill(self, block, is_write):
+    def _fill(self, block, is_write, now=0):
         """Install the granted line, notifying the home of any victim."""
         state = LineState.MODIFIED if is_write else LineState.SHARED
-        displaced = self.cache.install(block, state)
+        displaced = self.cache.install(block, state, now=now)
         if displaced is not None:
             victim_block, victim_state = displaced
             home = self._home(victim_block)

@@ -19,6 +19,7 @@ charges the network for each leg.
 import enum
 
 from repro.errors import SimulationError
+from repro.obs.events import EventKind
 
 
 class DirState(enum.Enum):
@@ -46,6 +47,18 @@ class Directory:
         self.write_requests = 0
         self.invalidations_sent = 0
         self.owner_fetches = 0
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
+
+    def counters(self):
+        """Counter snapshot for reports."""
+        return {
+            "read_requests": self.read_requests,
+            "write_requests": self.write_requests,
+            "invalidations_sent": self.invalidations_sent,
+            "owner_fetches": self.owner_fetches,
+            "entries": len(self._entries),
+        }
 
     def entry(self, block):
         item = self._entries.get(block)
@@ -54,7 +67,7 @@ class Directory:
             self._entries[block] = item
         return item
 
-    def handle_read(self, block, requester):
+    def handle_read(self, block, requester, now=0):
         """A read request arrives; returns ``(fetch_from_owner,)``.
 
         ``fetch_from_owner`` is the previous owner's node id when the
@@ -64,6 +77,10 @@ class Directory:
         """
         self.read_requests += 1
         item = self.entry(block)
+        if self.events is not None:
+            self.events.emit(
+                EventKind.DIRECTORY_READ, now, self.node_id,
+                block=block, requester=requester, state=item.state.value)
         fetch_from = None
         if item.state is DirState.MODIFIED and item.owner != requester:
             fetch_from = item.owner
@@ -80,7 +97,7 @@ class Directory:
             item.state = DirState.SHARED
         return fetch_from
 
-    def handle_write(self, block, requester):
+    def handle_write(self, block, requester, now=0):
         """A write request arrives; returns ``(invalidees, fetch_from)``.
 
         ``invalidees`` is the set of nodes whose copies must be
@@ -100,6 +117,11 @@ class Directory:
         elif item.state is DirState.SHARED:
             invalidees = item.sharers - {requester}
         self.invalidations_sent += len(invalidees)
+        if self.events is not None:
+            self.events.emit(
+                EventKind.DIRECTORY_WRITE, now, self.node_id,
+                block=block, requester=requester,
+                invalidations=len(invalidees))
         item.state = DirState.MODIFIED
         item.owner = requester
         item.sharers = set()

@@ -36,7 +36,8 @@ class CoherentMemorySystem:
         for node in range(config.num_processors):
             cache = Cache(size_bytes=config.cache_bytes,
                           block_bytes=config.cache_block_bytes,
-                          assoc=config.cache_assoc)
+                          assoc=config.cache_assoc,
+                          node_id=node)
             directory = Directory(node)
             controller = CacheController(node, self.memory, cache, self)
             cpu = Processor(node_id=node, port=controller,

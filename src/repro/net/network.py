@@ -11,6 +11,7 @@ order, which is all the experiments use).
 """
 
 from repro.net.topology import KAryNCube
+from repro.obs.events import EventKind
 
 
 class NetworkStats:
@@ -27,6 +28,16 @@ class NetworkStats:
     def average_latency(self):
         return self.total_latency / self.messages if self.messages else 0.0
 
+    def to_dict(self):
+        return {
+            "messages": self.messages,
+            "flit_hops": self.flit_hops,
+            "total_hops": self.total_hops,
+            "total_latency": self.total_latency,
+            "average_latency": self.average_latency,
+            "contention_cycles": self.contention_cycles,
+        }
+
 
 class Network:
     """Mesh interconnect with per-link occupancy-based contention."""
@@ -36,6 +47,8 @@ class Network:
         self.hop_cycles = hop_cycles
         self._link_free = {}     # (node, axis, dir) -> next free cycle
         self.stats = NetworkStats()
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
 
     def send(self, src, dst, size_flits, now):
         """Deliver a message; returns its arrival time.
@@ -62,6 +75,12 @@ class Network:
         self.stats.flit_hops += len(links) * size_flits
         self.stats.total_latency += time - now
         self.stats.contention_cycles += contention
+        if self.events is not None:
+            self.events.emit(
+                EventKind.NET_SEND, now, src, dst=dst, flits=size_flits,
+                hops=len(links), contention=contention)
+            self.events.emit(
+                EventKind.NET_DELIVER, time, dst, src=src, flits=size_flits)
         return time
 
     def round_trip(self, src, dst, request_flits, reply_flits, now,

@@ -1,0 +1,53 @@
+"""Observability: the telemetry spine of the simulator.
+
+The simulator's components carry *dormant* instrumentation hooks — a
+single ``events is not None`` test on each hot path — that wake up when
+an :class:`Observation` is attached to a machine.  Three consumers are
+built in:
+
+* the :class:`~repro.obs.events.EventBus` — a bounded ring of typed,
+  structured events (context switches, traps, remote misses, directory
+  transactions, network messages, future and thread lifecycle);
+* the :class:`~repro.obs.sampler.IntervalSampler` — per-node
+  utilization timelines bucketing the Figure-5 cycle categories
+  (useful/trap/switch/spin/stall/idle) per N-cycle window;
+* the :class:`~repro.obs.profiler.HotPathProfiler` — a flat
+  PC -> cycle-cost profile, folded through the assembler/Mul-T source
+  map to source lines.
+
+The event stream exports to Chrome/Perfetto trace JSON
+(:mod:`repro.obs.perfetto`; open the file in ``ui.perfetto.dev``), and
+:mod:`repro.obs.report` renders the whole machine — ``MachineStats``
+plus every per-component counter — as machine-readable JSON.
+
+Typical use::
+
+    from repro.lang.run import run_mult
+    from repro.obs import Observation
+
+    obs = Observation(profile=True)
+    result = run_mult(source, processors=4, args=(10,), observe=obs)
+    print(obs.profiler.report(top=10))
+    obs.write_perfetto("out.json")
+
+From the shell: ``april run prog.mult --profile --events out.json
+--timeline`` and ``april report prog.mult``.
+"""
+
+from repro.obs.events import Event, EventBus, EventKind
+from repro.obs.perfetto import perfetto_trace
+from repro.obs.profiler import HotPathProfiler
+from repro.obs.report import machine_report
+from repro.obs.sampler import IntervalSampler
+from repro.obs.session import Observation
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventKind",
+    "HotPathProfiler",
+    "IntervalSampler",
+    "Observation",
+    "machine_report",
+    "perfetto_trace",
+]

@@ -1,0 +1,133 @@
+"""The structured event bus.
+
+Components never construct events when nobody listens: every
+instrumentation site is guarded by a single ``events is not None``
+attribute test (the component's ``events`` slot is ``None`` until an
+:class:`~repro.obs.session.Observation` wires a bus in), so the
+disabled path costs one pointer comparison.
+
+Events are *typed* (:class:`EventKind`) and *structured* (a payload
+dict of plain ints/strings), timestamped in simulated cycles and tagged
+with the originating node.  The bus keeps a bounded ring of records —
+oldest dropped first — and offers synchronous subscriptions for
+consumers that must see every event regardless of ring capacity (the
+Perfetto exporter uses the ring; online reductions subscribe).
+"""
+
+import enum
+from collections import deque
+
+
+class EventKind(enum.Enum):
+    """Every event type the simulator can emit."""
+
+    # Processor / trap machinery.
+    TRAP_ENTER = "trap_enter"
+    TRAP_EXIT = "trap_exit"
+    CONTEXT_SWITCH = "context_switch"
+    # Memory system.
+    REMOTE_MISS = "remote_miss"
+    CACHE_EVICT = "cache_evict"
+    CACHE_INVALIDATE = "cache_invalidate"
+    DIRECTORY_READ = "directory_read"
+    DIRECTORY_WRITE = "directory_write"
+    # Network.
+    NET_SEND = "net_send"
+    NET_DELIVER = "net_deliver"
+    # Futures.
+    FUTURE_CREATE = "future_create"
+    FUTURE_TOUCH = "future_touch"
+    FUTURE_RESOLVE = "future_resolve"
+    # Thread lifecycle / scheduling.
+    THREAD_SPAWN = "thread_spawn"
+    THREAD_LOAD = "thread_load"
+    THREAD_UNLOAD = "thread_unload"
+    THREAD_STEAL = "thread_steal"
+    THREAD_EXIT = "thread_exit"
+
+
+class Event:
+    """One emitted event: kind, cycle timestamp, node, payload."""
+
+    __slots__ = ("kind", "cycle", "node", "data")
+
+    def __init__(self, kind, cycle, node, data):
+        self.kind = kind
+        self.cycle = cycle
+        self.node = node
+        self.data = data
+
+    def to_dict(self):
+        record = {"kind": self.kind.value, "cycle": self.cycle,
+                  "node": self.node}
+        record.update(self.data)
+        return record
+
+    def __repr__(self):
+        extras = " ".join("%s=%r" % kv for kv in sorted(self.data.items()))
+        return "[%10d] n%s %s %s" % (
+            self.cycle, self.node, self.kind.value, extras)
+
+
+class EventBus:
+    """Bounded ring of :class:`Event` records plus live subscribers.
+
+    Args:
+        capacity: ring size; oldest records are dropped past it.
+            ``None`` keeps everything (tests, short runs).
+    """
+
+    def __init__(self, capacity=1_000_000):
+        self.records = deque(maxlen=capacity)
+        self.emitted = 0
+        self._counts = {}
+        self._subscribers = []          # called for every event
+        self._kind_subscribers = {}     # EventKind -> [callables]
+
+    @property
+    def capacity(self):
+        return self.records.maxlen
+
+    @property
+    def dropped(self):
+        """Events pushed out of the ring by capacity."""
+        return self.emitted - len(self.records)
+
+    def emit(self, kind, cycle, node, **data):
+        """Record an event and notify subscribers."""
+        event = Event(kind, cycle, node, data)
+        self.records.append(event)
+        self.emitted += 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        for callback in self._subscribers:
+            callback(event)
+        for callback in self._kind_subscribers.get(kind, ()):
+            callback(event)
+
+    def subscribe(self, callback, kind=None):
+        """Call ``callback(event)`` on every event (or one kind only)."""
+        if kind is None:
+            self._subscribers.append(callback)
+        else:
+            self._kind_subscribers.setdefault(kind, []).append(callback)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def select(self, *kinds):
+        """Recorded events of the given kinds, in emission order."""
+        wanted = set(kinds)
+        return [e for e in self.records if e.kind in wanted]
+
+    def counts(self):
+        """Mapping of kind name to number of events emitted (ever)."""
+        return {kind.value: count for kind, count in self._counts.items()}
+
+    def to_dicts(self):
+        """The ring contents as JSON-ready dicts."""
+        return [event.to_dict() for event in self.records]

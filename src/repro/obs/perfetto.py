@@ -1,0 +1,117 @@
+"""Chrome/Perfetto trace export.
+
+Converts an :class:`~repro.obs.events.EventBus` stream into the Chrome
+Trace Event JSON format (the legacy format Perfetto still ingests):
+open the written file in ``ui.perfetto.dev`` or ``chrome://tracing``.
+
+Mapping:
+
+* each ALEWIFE node is a *process* (``pid`` = node id);
+* each hardware task frame is a *thread* (``tid`` = frame index), so
+  the four-frame structure of the APRIL processor is visible directly;
+* a thread residing in a frame (THREAD_LOAD .. THREAD_UNLOAD/EXIT) is a
+  complete slice ("X") named after the virtual thread;
+* traps, steals, and future events are instant events ("i");
+* sampler windows become per-node "utilization" counter tracks ("C").
+
+Simulated cycles are written one-to-one as trace microseconds.
+"""
+
+from repro.obs.events import EventKind
+
+_INSTANT_KINDS = {
+    EventKind.TRAP_ENTER: "trap",
+    EventKind.THREAD_STEAL: "steal",
+    EventKind.FUTURE_CREATE: "future-create",
+    EventKind.FUTURE_RESOLVE: "future-resolve",
+    EventKind.REMOTE_MISS: "remote-miss",
+}
+
+
+def _metadata(pid, tid, name, kind):
+    record = {"ph": "M", "pid": pid, "name": kind, "args": {"name": name}}
+    if tid is not None:
+        record["tid"] = tid
+    return record
+
+
+def perfetto_trace(bus, num_nodes, end_cycle, sampler=None):
+    """Build the Chrome trace dict for an event stream.
+
+    Args:
+        bus: the :class:`EventBus` (its ring is consumed read-only).
+        num_nodes: machine size, for the process metadata.
+        end_cycle: run end; closes slices still open at the end.
+        sampler: optional :class:`IntervalSampler` for counter tracks.
+    """
+    trace_events = []
+    for node in range(num_nodes):
+        trace_events.append(
+            _metadata(node, None, "node %d" % node, "process_name"))
+
+    open_slices = {}       # (node, frame) -> (start cycle, thread name)
+    seen_frames = set()
+
+    def close_slice(key, end):
+        start, name = open_slices.pop(key)
+        node, frame = key
+        trace_events.append({
+            "ph": "X", "pid": node, "tid": frame, "ts": start,
+            "dur": max(end - start, 0), "cat": "thread", "name": name,
+        })
+
+    for event in bus:
+        node = event.node
+        frame = event.data.get("frame", 0)
+        key = (node, frame)
+        if key not in seen_frames and frame is not None:
+            seen_frames.add(key)
+            trace_events.append(
+                _metadata(node, frame, "frame %d" % frame, "thread_name"))
+
+        if event.kind is EventKind.THREAD_LOAD:
+            if key in open_slices:           # defensive: reload over a slice
+                close_slice(key, event.cycle)
+            open_slices[key] = (event.cycle, event.data.get("thread",
+                                                            "thread"))
+        elif event.kind in (EventKind.THREAD_UNLOAD, EventKind.THREAD_EXIT):
+            if key in open_slices:
+                close_slice(key, event.cycle)
+        elif event.kind in _INSTANT_KINDS:
+            name = _INSTANT_KINDS[event.kind]
+            if event.kind is EventKind.TRAP_ENTER:
+                name = "trap:%s" % event.data.get("trap", "?")
+            trace_events.append({
+                "ph": "i", "pid": node, "tid": frame, "ts": event.cycle,
+                "cat": "event", "name": name, "s": "t",
+                "args": {k: v for k, v in event.data.items()
+                         if k != "frame"},
+            })
+
+    for key in list(open_slices):
+        close_slice(key, end_cycle)
+
+    if sampler is not None:
+        start = 0               # the flush window is narrower than `window`
+        for end, deltas in sampler.windows:
+            for node, row in enumerate(deltas):
+                total = sum(row.values())
+                trace_events.append({
+                    "ph": "C", "pid": node, "ts": start,
+                    "name": "utilization",
+                    "args": {"useful": (100 * row["useful"] // total)
+                             if total else 0},
+                })
+            start = end
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs (APRIL/ALEWIFE simulator)",
+            "nodes": num_nodes,
+            "end_cycle": end_cycle,
+            "events_recorded": len(bus),
+            "events_dropped": bus.dropped,
+        },
+    }

@@ -1,0 +1,136 @@
+"""The hot-path profiler: where do the cycles actually go?
+
+Hooks every processor's per-instruction ``profile_hook`` (a dormant
+slot checked once per instruction, exactly like the tracer's) and
+charges, to each PC, the *full* cycle cost of the instruction fetched
+there — ALU cycle, memory stalls, and any trap/handler cycles it
+provoked — measured as the processor-clock delta to the next fetch on
+the same processor.  That attribution convention makes synchronization
+costs land on the touching instruction, which is what you want when
+hunting the paper's future-touch and switch-spin overheads.
+
+The flat PC profile folds through the program's source map (assembler
+line or Mul-T source line) so ``report()`` reads like a profiler, not a
+disassembly listing.
+"""
+
+
+class ProfileEntry:
+    """Aggregated cost of one PC (or one source line)."""
+
+    __slots__ = ("key", "count", "cycles", "source")
+
+    def __init__(self, key, count, cycles, source):
+        self.key = key
+        self.count = count
+        self.cycles = cycles
+        self.source = source
+
+    def to_dict(self):
+        record = {"count": self.count, "cycles": self.cycles}
+        if isinstance(self.key, int):
+            record["pc"] = self.key
+        if self.source is not None:
+            record["line"] = self.source[0]
+            record["text"] = self.source[1]
+        return record
+
+
+class HotPathProfiler:
+    """Flat profile of PC -> (execution count, cycle cost)."""
+
+    def __init__(self):
+        self._count = {}
+        self._cost = {}
+        self._state = {}          # node id -> [last pc, cycles at last pc]
+        self._source_map = {}
+        self.total_cycles = 0
+
+    def attach(self, machine):
+        """Install the per-instruction hook on every processor."""
+        self._source_map = machine.program.source_map
+        for cpu in machine.cpus:
+            self._state[cpu.node_id] = [-1, 0]
+            cpu.profile_hook = self._hook
+
+    def detach(self, machine):
+        for cpu in machine.cpus:
+            # ``==``, not ``is``: each ``self._hook`` access builds a
+            # fresh bound method; they compare equal, never identical.
+            if cpu.profile_hook == self._hook:
+                cpu.profile_hook = None
+
+    def _hook(self, cpu, pc, instr):
+        state = self._state[cpu.node_id]
+        last_pc = state[0]
+        if last_pc >= 0:
+            cost = cpu.cycles - state[1]
+            self._cost[last_pc] = self._cost.get(last_pc, 0) + cost
+            self.total_cycles += cost
+        self._count[pc] = self._count.get(pc, 0) + 1
+        state[0] = pc
+        state[1] = cpu.cycles
+
+    # -- reports -----------------------------------------------------------
+
+    def flat(self):
+        """Per-PC entries, hottest first."""
+        entries = [
+            ProfileEntry(pc, count, self._cost.get(pc, 0),
+                         self._source_map.get(pc))
+            for pc, count in self._count.items()
+        ]
+        entries.sort(key=lambda e: (-e.cycles, e.key))
+        return entries
+
+    def by_line(self):
+        """Entries folded to source lines (unmapped PCs fold together)."""
+        folded = {}
+        for entry in self.flat():
+            key = entry.source if entry.source is not None else ("?", "?")
+            if key in folded:
+                folded[key].count += entry.count
+                folded[key].cycles += entry.cycles
+            else:
+                source = entry.source
+                folded[key] = ProfileEntry(
+                    source[0] if source else -1, entry.count, entry.cycles,
+                    source)
+        entries = list(folded.values())
+        entries.sort(key=lambda e: (-e.cycles, e.key))
+        return entries
+
+    def report(self, top=20, lines=True):
+        """A human-readable profile table."""
+        entries = self.by_line() if lines else self.flat()
+        total = self.total_cycles or 1
+        header = "source line" if lines else "pc"
+        out = ["hot paths (%d instructions profiled, %d cycles)"
+               % (sum(self._count.values()), self.total_cycles),
+               "  %%cyc       cycles        count  %s" % header]
+        for entry in entries[:top]:
+            if lines:
+                if entry.source is not None:
+                    where = "line %4d: %s" % entry.source
+                else:
+                    where = "(no source map)"
+            else:
+                where = "%#07x" % entry.key
+                if entry.source is not None:
+                    where += "  ; line %d: %s" % entry.source
+            out.append("%6.2f %12d %12d  %s" % (
+                100.0 * entry.cycles / total, entry.cycles,
+                entry.count, where))
+        return "\n".join(out)
+
+    def to_dict(self, top=None):
+        flat = self.flat()
+        lines = self.by_line()
+        if top is not None:
+            flat, lines = flat[:top], lines[:top]
+        return {
+            "total_cycles": self.total_cycles,
+            "instructions": sum(self._count.values()),
+            "flat": [entry.to_dict() for entry in flat],
+            "by_line": [entry.to_dict() for entry in lines],
+        }

@@ -1,0 +1,61 @@
+"""Machine-readable run reports.
+
+One JSON-ready dict for a whole machine: the ``MachineStats`` roll-up
+plus every per-component counter (caches, controllers, directories,
+network, scheduler, futures) — what ``april report`` and ``april run
+--json`` emit, and what benchmarks/CI consume instead of parsing the
+human ``render()`` text.
+"""
+
+
+def component_counters(machine):
+    """Per-component counter snapshot of a machine (JSON-ready)."""
+    runtime = machine.runtime
+    data = {
+        "scheduler": runtime.scheduler.counters(),
+        "futures": runtime.futures.counters(),
+        "lazy": {
+            "pushed": runtime.lazy_pushed,
+            "stolen": runtime.lazy_stolen,
+        },
+    }
+    fabric = machine.fabric
+    if fabric is not None:
+        data["caches"] = [c.stats.to_dict() for c in fabric.caches]
+        data["controllers"] = [c.stats.to_dict() for c in fabric.controllers]
+        data["directories"] = [d.counters() for d in fabric.directories]
+        data["network"] = fabric.network.stats.to_dict()
+    return data
+
+
+def machine_report(machine, result=None, observation=None, top=40):
+    """The full report dict for a finished (or running) machine.
+
+    Args:
+        machine: the :class:`AlewifeMachine`.
+        result: optional :class:`MachineResult` (adds value/output).
+        observation: optional :class:`Observation` (adds event counts,
+            timeline, and profile sections).
+        top: profile entries to include.
+    """
+    config = machine.config
+    report = {
+        "config": {
+            "num_processors": config.num_processors,
+            "num_task_frames": config.num_task_frames,
+            "memory_mode": config.memory_mode,
+            "lazy_futures": config.lazy_futures,
+            "placement": config.placement,
+        },
+        "stats": machine.stats().to_dict(),
+        "components": component_counters(machine),
+    }
+    if result is not None:
+        report["result"] = {
+            "value": result.value,
+            "cycles": result.cycles,
+            "output": result.output,
+        }
+    if observation is not None:
+        report.update(observation.to_dict(top=top))
+    return report

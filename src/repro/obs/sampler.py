@@ -1,0 +1,133 @@
+"""Interval metrics: per-node utilization timelines.
+
+End-of-run counters say *how many* cycles went to each Figure-5
+category (useful / trap / switch / spin / stall / idle); the sampler
+says *when*.  The machine's event loop calls :meth:`sample` whenever
+simulated time crosses an ``window``-cycle boundary (one comparison per
+loop iteration when attached; nothing when not), and the sampler
+records the per-processor counter deltas since the previous boundary.
+
+The result is a utilization timeline per node — the same decomposition
+the paper's Figure 5 plots machine-wide, resolved over time — exported
+as dicts (:meth:`to_dict`), Perfetto counter tracks (see
+:mod:`repro.obs.perfetto`), or a terminal heat strip (:meth:`render`).
+"""
+
+#: Glyphs for 0-100% utilization in eighths, for :meth:`render`.
+_SHADES = " .:-=+*#%@"
+
+_CATEGORIES = None
+
+
+def _category_names():
+    """The processor's cycle-category names, imported lazily.
+
+    ``repro.core.processor`` imports :mod:`repro.obs.events` for its
+    trap-event hooks, so a module-level import here would be circular.
+    """
+    global _CATEGORIES
+    if _CATEGORIES is None:
+        from repro.core.processor import CATEGORIES
+        _CATEGORIES = CATEGORIES
+    return _CATEGORIES
+
+
+class IntervalSampler:
+    """Buckets per-processor cycle categories per N-cycle window."""
+
+    def __init__(self, window=4096):
+        if window <= 0:
+            raise ValueError("sampler window must be positive")
+        self.window = window
+        self.next_sample_at = window
+        self.windows = []               # [(end_cycle, [per-node deltas])]
+        self._cpus = None
+        self._last = None               # per-cpu previous counter values
+
+    def attach(self, cpus):
+        """Start sampling a machine's processors (counters as of now)."""
+        self._cpus = list(cpus)
+        self._last = [self._snapshot(cpu) for cpu in self._cpus]
+
+    @staticmethod
+    def _snapshot(cpu):
+        stats = cpu.stats
+        return [getattr(stats, name) for name in _category_names()]
+
+    def sample(self, now, cpus=None):
+        """Close the current window at ``now`` and start the next."""
+        cpus = self._cpus if cpus is None else cpus
+        names = _category_names()
+        if self._last is None:
+            self.attach(cpus)
+            # Attached mid-run: counters to date form the first window.
+            self._last = [[0] * len(names) for _ in cpus]
+        deltas = []
+        for index, cpu in enumerate(cpus):
+            current = self._snapshot(cpu)
+            previous = self._last[index]
+            deltas.append({
+                name: current[i] - previous[i]
+                for i, name in enumerate(names)
+            })
+            self._last[index] = current
+        self.windows.append((now, deltas))
+        self.next_sample_at = (now // self.window + 1) * self.window
+
+    def finish(self, now):
+        """Flush the final partial window (run ended mid-window)."""
+        if self._cpus is None:
+            return
+        pending = any(
+            self._snapshot(cpu) != self._last[i]
+            for i, cpu in enumerate(self._cpus)
+        )
+        if pending:
+            self.sample(now)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self):
+        return len(self.windows)
+
+    def utilization_series(self, node=None):
+        """Per-window useful-cycle fraction for one node (or machine-wide)."""
+        series = []
+        for _end, deltas in self.windows:
+            rows = deltas if node is None else [deltas[node]]
+            useful = sum(row["useful"] for row in rows)
+            total = sum(sum(row.values()) for row in rows)
+            series.append(useful / total if total else 0.0)
+        return series
+
+    def to_dict(self):
+        return {
+            "window": self.window,
+            "categories": list(_category_names()),
+            "windows": [
+                {"end_cycle": end, "nodes": deltas}
+                for end, deltas in self.windows
+            ],
+        }
+
+    def render(self, max_windows=64):
+        """A terminal heat strip: one row per node, one glyph per window."""
+        if not self.windows:
+            return "(no samples)"
+        windows = self.windows[-max_windows:]
+        num_nodes = len(windows[0][1])
+        lines = ["utilization timeline (window=%d cycles, %s..%s)" % (
+            self.window,
+            "%d" % (windows[0][0] - self.window), "%d" % windows[-1][0])]
+        for node in range(num_nodes):
+            glyphs = []
+            for _end, deltas in windows:
+                row = deltas[node]
+                total = sum(row.values())
+                fraction = row["useful"] / total if total else 0.0
+                glyphs.append(_SHADES[min(int(fraction * (len(_SHADES) - 1)
+                                              + 0.5), len(_SHADES) - 1)])
+            lines.append("node %2d |%s|" % (node, "".join(glyphs)))
+        lines.append("        (%r = idle ... %r = fully useful)"
+                     % (_SHADES[0], _SHADES[-1]))
+        return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""The :class:`Observation` session: wire consumers into a machine.
+
+One object gathers the event bus, the interval sampler, and the
+hot-path profiler, and knows how to thread them through every
+instrumented component of an :class:`AlewifeMachine`.  Components whose
+``events`` slot stays ``None`` keep their no-op fast path; attaching is
+what turns the dormant hooks on.
+"""
+
+import json
+
+from repro.obs.events import EventBus
+from repro.obs.perfetto import perfetto_trace
+from repro.obs.profiler import HotPathProfiler
+from repro.obs.report import machine_report
+from repro.obs.sampler import IntervalSampler
+
+
+class Observation:
+    """Observability configuration + attached consumers for one run.
+
+    Args:
+        events: record the structured event stream.
+        capacity: event ring size (None = unbounded).
+        window: sampler window in cycles; 0/None disables the sampler.
+        profile: enable the per-instruction hot-path profiler.
+    """
+
+    def __init__(self, events=True, capacity=1_000_000, window=4096,
+                 profile=False):
+        self.bus = EventBus(capacity) if events else None
+        self.sampler = IntervalSampler(window) if window else None
+        self.profiler = HotPathProfiler() if profile else None
+        self.machine = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, machine):
+        """Install every enabled consumer on a machine (before ``run``)."""
+        self.machine = machine
+        if self.sampler is not None:
+            self.sampler.attach(machine.cpus)
+            machine.sampler = self.sampler
+        if self.profiler is not None:
+            self.profiler.attach(machine)
+        bus = self.bus
+        if bus is None:
+            return
+        machine.events = bus
+        runtime = machine.runtime
+        runtime.events = bus
+        runtime.scheduler.events = bus
+        runtime.futures.events = bus
+        for cpu in machine.cpus:
+            cpu.events = bus
+        fabric = machine.fabric
+        if fabric is not None:
+            fabric.network.events = bus
+            for cache in fabric.caches:
+                cache.events = bus
+            for controller in fabric.controllers:
+                controller.events = bus
+            for directory in fabric.directories:
+                directory.events = bus
+
+    def detach(self):
+        """Remove every hook installed by :meth:`attach`."""
+        machine = self.machine
+        if machine is None:
+            return
+        machine.sampler = None
+        machine.events = None
+        runtime = machine.runtime
+        runtime.events = None
+        runtime.scheduler.events = None
+        runtime.futures.events = None
+        for cpu in machine.cpus:
+            cpu.events = None
+        if self.profiler is not None:
+            self.profiler.detach(machine)
+        fabric = machine.fabric
+        if fabric is not None:
+            fabric.network.events = None
+            for component in (fabric.caches + fabric.controllers
+                              + fabric.directories):
+                component.events = None
+
+    # -- exports -----------------------------------------------------------
+
+    def perfetto(self):
+        """The Chrome/Perfetto trace dict for the observed run."""
+        if self.bus is None:
+            raise ValueError("Observation was built with events=False")
+        machine = self.machine
+        return perfetto_trace(self.bus, len(machine.cpus), machine.time,
+                              sampler=self.sampler)
+
+    def write_perfetto(self, path):
+        """Write the Perfetto trace JSON; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.perfetto(), handle)
+        return path
+
+    def report(self, result=None, top=40):
+        """Full machine report dict (stats + components + observations)."""
+        return machine_report(self.machine, result=result, observation=self,
+                              top=top)
+
+    def to_dict(self, top=40):
+        """The observation sections of the report."""
+        data = {}
+        if self.bus is not None:
+            data["events"] = {
+                "emitted": self.bus.emitted,
+                "recorded": len(self.bus),
+                "dropped": self.bus.dropped,
+                "counts": self.bus.counts(),
+            }
+        if self.sampler is not None:
+            data["timeline"] = self.sampler.to_dict()
+        if self.profiler is not None:
+            data["profile"] = self.profiler.to_dict(top=top)
+        return data

@@ -10,6 +10,7 @@ them back to a ready queue.
 
 from repro.isa import tags
 from repro.errors import RuntimeSystemError
+from repro.obs.events import EventKind
 
 
 class FutureTable:
@@ -21,6 +22,43 @@ class FutureTable:
         self.resolved = 0
         self.touches_resolved = 0    # touch traps that found a value
         self.touches_unresolved = 0  # touch traps that had to wait
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
+
+    # -- counter/event bookkeeping (single choke points) -----------------
+
+    def note_created(self, cycle=0, node=0, cell=None):
+        """A future cell was created (eager create or lazy steal)."""
+        self.created += 1
+        if self.events is not None:
+            self.events.emit(EventKind.FUTURE_CREATE, cycle, node, cell=cell)
+
+    def note_touch(self, resolved, cycle=0, node=0, cell=None):
+        """A touch trap ran; ``resolved`` = the value was already there."""
+        if resolved:
+            self.touches_resolved += 1
+        else:
+            self.touches_unresolved += 1
+        if self.events is not None:
+            self.events.emit(EventKind.FUTURE_TOUCH, cycle, node,
+                             cell=cell, resolved=resolved)
+
+    def note_resolved(self, cycle=0, node=0, cell=None, waiters=0):
+        """A future cell was resolved, waking ``waiters`` threads."""
+        self.resolved += 1
+        if self.events is not None:
+            self.events.emit(EventKind.FUTURE_RESOLVE, cycle, node,
+                             cell=cell, waiters=waiters)
+
+    def counters(self):
+        """Counter snapshot for reports."""
+        return {
+            "created": self.created,
+            "resolved": self.resolved,
+            "touches_resolved": self.touches_resolved,
+            "touches_unresolved": self.touches_unresolved,
+            "waiting": self.waiting_count(),
+        }
 
     def add_waiter(self, future_word, thread):
         """Record a thread blocked on an unresolved future."""

@@ -15,6 +15,7 @@ future touch; parameterized costs for the rest — see
 from repro.core.traps import TrapAction, TrapKind
 from repro.errors import RuntimeSystemError, SimulationError
 from repro.isa import registers, tags
+from repro.obs.events import EventKind
 from repro.runtime import stubs
 from repro.runtime.lazy import LazyMarker
 from repro.runtime.thread import ThreadState
@@ -65,6 +66,10 @@ class TrapHandlers:
         next_frame = self.rts.scheduler.next_occupied_frame(cpu)
         if next_frame is not None and next_frame is not frame:
             self.rts.scheduler.activate_frame(cpu, next_frame)
+        if cpu.events is not None:
+            cpu.events.emit(
+                EventKind.CONTEXT_SWITCH, cpu.cycles, cpu.node_id,
+                from_frame=frame.index, to_frame=cpu.fp)
         return TrapAction.SWITCHED
 
     def on_cache_miss(self, cpu, frame, trap):
@@ -120,12 +125,14 @@ class TrapHandlers:
                 if cpu.read_reg(reg, frame) == future_word:
                     cpu.write_reg(reg, value, frame)
             cpu.charge(self.config.future_touch_resolved_cycles, "trap")
-            self.rts.futures.touches_resolved += 1
+            self.rts.futures.note_touch(True, cpu.cycles, cpu.node_id,
+                                        cell=cell)
             if frame.thread is not None:
                 frame.thread.spin_count = 0
             return TrapAction.RETRY
 
-        self.rts.futures.touches_unresolved += 1
+        self.rts.futures.note_touch(False, cpu.cycles, cpu.node_id,
+                                    cell=cell)
         thread = frame.thread
         if thread is None:
             raise RuntimeSystemError("future touch in an empty frame")
@@ -161,9 +168,10 @@ class TrapHandlers:
         future_word = self.rts.kernel_heap(cpu.node_id).future_cell()
         node = self.rts.scheduler.pick_node(cpu.node_id, pinned)
         thread = self.rts.new_thread(
-            node, entry_closure=thunk, future=future_word)
+            node, entry_closure=thunk, future=future_word, cpu=cpu)
         self.rts.scheduler.enqueue(thread, node)
-        self.rts.futures.created += 1
+        self.rts.futures.note_created(
+            cpu.cycles, cpu.node_id, cell=tags.pointer_address(future_word))
         cpu.write_reg(_A0, future_word, frame)
         cpu.charge(self.config.eager_task_create_cycles, "trap")
         return TrapAction.RESUME
@@ -208,7 +216,7 @@ class TrapHandlers:
         if thread.is_root:
             raise RuntimeSystemError(
                 "root-ness must transfer with the stolen stack bottom")
-        self.rts.scheduler.retire_thread(frame)
+        self.rts.scheduler.retire_thread(frame, cpu=cpu)
         self.rts.free_stack(thread)
         self.rts.dispatch_next(cpu)
         return TrapAction.SWITCHED
@@ -221,7 +229,7 @@ class TrapHandlers:
         result = cpu.read_reg(_A0, frame)
         thread.result = result
         cpu.charge(self.config.thread_exit_cycles, "trap")
-        self.rts.scheduler.retire_thread(frame)
+        self.rts.scheduler.retire_thread(frame, cpu=cpu)
         self.rts.free_stack(thread)
         if thread.future is not None:
             self.rts.resolve_future(cpu, thread.future, result)

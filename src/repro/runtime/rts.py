@@ -14,6 +14,7 @@ handler execution, which subsumes those locks (see DESIGN.md).
 from repro.core.psr import ET_BIT
 from repro.errors import RuntimeSystemError, SimulationError
 from repro.isa import registers, tags
+from repro.obs.events import EventKind
 from repro.runtime.futures import FutureTable
 from repro.runtime.handlers import TrapHandlers
 from repro.runtime.heap import Arena, Heap
@@ -57,6 +58,8 @@ class RuntimeSystem:
         self.threads = []
         self._stack_free_lists = [[] for _ in cpus]
         self._ipi_receiver = None
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
 
         self._layout_heaps()
         self._make_singletons()
@@ -134,11 +137,13 @@ class RuntimeSystem:
     # -- threads -----------------------------------------------------------------
 
     def new_thread(self, home_node, entry_closure=None, future=None,
-                   args=(), is_root=False, name=None):
+                   args=(), is_root=False, name=None, cpu=None):
         """Create a fresh (unloaded, stack-less) virtual thread.
 
         The stack is assigned lazily at first load, so deep eager-future
         trees don't hold stacks for queued-but-never-started threads.
+        ``cpu`` is the creating processor, used only to timestamp the
+        spawn event when observability is attached.
         """
         thread = Thread(
             stack_base=None,
@@ -151,6 +156,12 @@ class RuntimeSystem:
             name=name,
         )
         self.threads.append(thread)
+        if self.events is not None:
+            self.events.emit(
+                EventKind.THREAD_SPAWN,
+                cpu.cycles if cpu is not None else 0,
+                cpu.node_id if cpu is not None else home_node,
+                tid=thread.tid, thread=thread.name, home=home_node)
         return thread
 
     def bootstrap(self, cpu, frame, thread):
@@ -194,9 +205,11 @@ class RuntimeSystem:
             raise RuntimeSystemError("future @%#x resolved twice" % cell)
         self.memory.write_word(cell, value)
         self.memory.set_full(cell, True)
-        self.futures.resolved += 1
         cpu.charge(self.config.future_resolve_cycles, "trap")
-        for waiter in self.futures.take_waiters(future_word):
+        waiters = self.futures.take_waiters(future_word)
+        self.futures.note_resolved(cpu.cycles, cpu.node_id, cell=cell,
+                                   waiters=len(waiters))
+        for waiter in waiters:
             waiter.blocked_on = None
             waiter.transition(ThreadState.READY)
             self.scheduler.enqueue(waiter)
@@ -276,7 +289,8 @@ class RuntimeSystem:
         victim = marker.thread
         future_word = self.kernel_heap(thief_cpu.node_id).future_cell()
         marker.future = future_word
-        self.futures.created += 1
+        self.futures.note_created(thief_cpu.cycles, thief_cpu.node_id,
+                                  cell=tags.pointer_address(future_word))
         self.lazy_stolen += 1
 
         lo, hi = victim.stolen_base, marker.sp
@@ -286,6 +300,7 @@ class RuntimeSystem:
         thread = self.new_thread(
             thief_cpu.node_id,
             name="steal-of-%s" % victim.name,
+            cpu=thief_cpu,
         )
         thread.stack_base = self.allocate_stack(thief_cpu.node_id)
         thread.stolen_base = thread.stack_base

@@ -15,6 +15,7 @@ from collections import deque
 
 from repro.errors import RuntimeSystemError
 from repro.isa import registers
+from repro.obs.events import EventKind
 from repro.runtime.thread import ThreadState
 
 
@@ -30,6 +31,17 @@ class Scheduler:
         self.loads = 0
         self.unloads = 0
         self.steals = 0
+        #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
+        self.events = None
+
+    def counters(self):
+        """Counter snapshot for reports."""
+        return {
+            "loads": self.loads,
+            "unloads": self.unloads,
+            "steals": self.steals,
+            "ready": self.ready_count(),
+        }
 
     # -- placement -------------------------------------------------------
 
@@ -86,6 +98,10 @@ class Scheduler:
         frame.psr.tid = thread.tid & 0xFFFF
         cpu.charge(self.config.thread_load_cycles, "switch")
         self.loads += 1
+        if self.events is not None:
+            self.events.emit(
+                EventKind.THREAD_LOAD, cpu.cycles, cpu.node_id,
+                frame=frame.index, tid=thread.tid, thread=thread.name)
         return frame
 
     def unload_thread(self, cpu, frame, new_state):
@@ -98,13 +114,22 @@ class Scheduler:
         frame.thread = None
         cpu.charge(self.config.thread_unload_cycles, "switch")
         self.unloads += 1
+        if self.events is not None:
+            self.events.emit(
+                EventKind.THREAD_UNLOAD, cpu.cycles, cpu.node_id,
+                frame=frame.index, tid=thread.tid, thread=thread.name,
+                state=new_state.value)
         return thread
 
-    def retire_thread(self, frame):
+    def retire_thread(self, frame, cpu=None):
         """Free the frame of a thread that finished (no state to save)."""
         thread = frame.thread
         thread.transition(ThreadState.DONE)
         frame.thread = None
+        if self.events is not None and cpu is not None:
+            self.events.emit(
+                EventKind.THREAD_EXIT, cpu.cycles, cpu.node_id,
+                frame=frame.index, tid=thread.tid, thread=thread.name)
         return thread
 
     # -- frame selection ----------------------------------------------------------
@@ -148,5 +173,11 @@ class Scheduler:
             queue = self.ready[victim]
             if queue:
                 self.steals += 1
-                return queue.popleft()
+                thread = queue.popleft()
+                if self.events is not None:
+                    self.events.emit(
+                        EventKind.THREAD_STEAL, self.cpus[node].cycles,
+                        node, victim=victim, tid=thread.tid,
+                        thread=thread.name)
+                return thread
         return None

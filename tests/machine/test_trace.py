@@ -69,3 +69,36 @@ class TestTracer:
         machine = AlewifeMachine(compiled.program, MachineConfig())
         for cpu in machine.cpus:
             assert cpu.trace_hook is None
+            assert cpu.trap_hook is None
+
+
+class TestTrapCapture:
+    def test_captures_trap_entries_with_kind(self):
+        _machine, tracer, result = run_traced()
+        assert result.value == 13
+        assert tracer.traps_seen > 0
+        records = tracer.trap_records()
+        assert records
+        # Every trap record names its kind; fib's futures guarantee
+        # future-touch traps among them.
+        assert all(isinstance(r.trap, str) for r in records)
+        kinds = {r.trap for r in records}
+        assert "FUTURE_COMPUTE" in kinds    # strict ops touching futures
+        assert tracer.trap_records("FUTURE_COMPUTE") == [
+            r for r in records if r.trap == "FUTURE_COMPUTE"]
+
+    def test_trap_records_render_inline(self):
+        _machine, tracer, _ = run_traced()
+        text = "\n".join(repr(r) for r in tracer.trap_records()[:3])
+        assert "*** trap" in text
+
+    def test_traps_false_disables(self):
+        _machine, tracer, _ = run_traced(traps=False)
+        assert tracer.traps_seen == 0
+        assert tracer.trap_records() == []
+
+    def test_instruction_records_have_no_trap(self):
+        _machine, tracer, _ = run_traced()
+        plain = [r for r in tracer.records if r.trap is None]
+        assert plain
+        assert all(not r.text.startswith("*** trap") for r in plain)

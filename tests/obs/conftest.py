@@ -1,0 +1,31 @@
+"""Shared helpers for the observability tests."""
+
+import pytest
+
+from repro.lang.run import run_mult
+from repro.machine.config import MachineConfig
+from repro.obs import Observation
+
+FIB = """
+(define (fib n)
+  (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+(define (main n) (fib n))
+"""
+
+
+def observed_run(n=8, processors=2, coherent=False, **obs_kwargs):
+    """Run fib(n) under an Observation; returns (result, observation)."""
+    obs = Observation(**obs_kwargs)
+    config = MachineConfig(
+        num_processors=processors,
+        memory_mode="coherent" if coherent else "ideal")
+    result = run_mult(FIB, args=(n,), config=config, observe=obs)
+    return result, obs
+
+
+@pytest.fixture
+def fib_program(tmp_path):
+    """A fib source file on disk, for CLI tests."""
+    path = tmp_path / "fib.mult"
+    path.write_text(FIB)
+    return str(path)

@@ -1,0 +1,57 @@
+"""CLI observability surface: --json, --profile, --events, report."""
+
+import json
+
+from repro.cli import main
+
+
+class TestRunJson:
+    def test_json_payload(self, fib_program, capsys):
+        assert main(["run", fib_program, "-p", "2", "--args", "8",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == 21
+        assert payload["cycles"] > 0
+        assert payload["stats"]["num_processors"] == 2
+        # No observability flags: no observation sections.
+        assert "events" not in payload
+
+    def test_json_with_profile_and_events(self, fib_program, capsys,
+                                          tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", fib_program, "-p", "2", "--args", "8",
+                     "--json", "--profile", "--timeline",
+                     "--events", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["events"]["emitted"] > 0
+        assert payload["profile"]["total_cycles"] > 0
+        assert payload["timeline"]["windows"]
+        trace = json.loads(trace_path.read_text())
+        assert trace["otherData"]["nodes"] == 2
+        assert "ui.perfetto.dev" in captured.err
+
+    def test_human_output_with_profile(self, fib_program, capsys):
+        assert main(["run", fib_program, "--args", "6",
+                     "--profile", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "result: 8" in out
+        assert "hot paths" in out
+        assert "utilization timeline" in out
+
+
+class TestReportCommand:
+    def test_report_stdout(self, fib_program, capsys):
+        assert main(["report", fib_program, "-p", "2", "--args", "7"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["result"]["value"] == 13
+        assert set(report) >= {"config", "stats", "components", "events",
+                               "timeline", "profile"}
+
+    def test_report_out_file(self, fib_program, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        assert main(["report", fib_program, "--args", "6", "--coherent",
+                     "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert "network" in report["components"]
+        assert report["result"]["value"] == 8

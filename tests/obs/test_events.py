@@ -1,0 +1,91 @@
+"""EventBus unit tests plus the determinism contract of the stream."""
+
+from repro.obs import EventBus, EventKind
+
+from tests.obs.conftest import observed_run
+
+
+class TestEventBus:
+    def test_ring_capacity(self):
+        bus = EventBus(capacity=10)
+        for cycle in range(25):
+            bus.emit(EventKind.NET_SEND, cycle, 0, dst=1)
+        assert len(bus) == 10
+        assert bus.emitted == 25
+        assert bus.dropped == 15
+        # Oldest records fell off the front; the counts survive.
+        assert [e.cycle for e in bus] == list(range(15, 25))
+        assert bus.counts() == {"net_send": 25}
+
+    def test_unbounded_when_capacity_none(self):
+        bus = EventBus(capacity=None)
+        for cycle in range(1000):
+            bus.emit(EventKind.TRAP_ENTER, cycle, 0)
+        assert len(bus) == 1000
+        assert bus.dropped == 0
+
+    def test_subscribe_all_and_by_kind(self):
+        bus = EventBus()
+        seen_all, seen_traps = [], []
+        bus.subscribe(seen_all.append)
+        bus.subscribe(seen_traps.append, kind=EventKind.TRAP_ENTER)
+        bus.emit(EventKind.TRAP_ENTER, 1, 0, trap="FUTURE_TOUCH")
+        bus.emit(EventKind.NET_SEND, 2, 0, dst=3)
+        assert len(seen_all) == 2
+        assert len(seen_traps) == 1
+        assert seen_traps[0].data["trap"] == "FUTURE_TOUCH"
+
+    def test_select_filters_by_kind(self):
+        bus = EventBus()
+        bus.emit(EventKind.THREAD_LOAD, 5, 0, tid=1)
+        bus.emit(EventKind.THREAD_UNLOAD, 9, 0, tid=1)
+        bus.emit(EventKind.THREAD_LOAD, 12, 1, tid=2)
+        loads = bus.select(EventKind.THREAD_LOAD)
+        assert [e.cycle for e in loads] == [5, 12]
+
+    def test_to_dicts_round_trip(self):
+        bus = EventBus()
+        bus.emit(EventKind.REMOTE_MISS, 42, 3, block=7, home=1, write=False)
+        (record,) = bus.to_dicts()
+        assert record == {"kind": "remote_miss", "cycle": 42, "node": 3,
+                          "block": 7, "home": 1, "write": False}
+
+
+def _normalized(bus):
+    """Event dicts with process-global thread ids renamed by first use.
+
+    Thread ids come from a module-global counter, so two runs in one
+    process see different raw tids; everything else must match exactly.
+    """
+    mapping = {}
+    out = []
+    for record in bus.to_dicts():
+        record = dict(record)
+        tid = record.get("tid")
+        if tid is not None:
+            mapping.setdefault(tid, len(mapping))
+            record["tid"] = mapping[tid]
+            if record.get("thread") == "thread-%d" % tid:
+                record["thread"] = "thread-#%d" % mapping[tid]
+        out.append(record)
+    return out
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_streams(self):
+        result_a, obs_a = observed_run(n=8, processors=2)
+        result_b, obs_b = observed_run(n=8, processors=2)
+        assert result_a.value == result_b.value == 21
+        assert result_a.cycles == result_b.cycles
+        stream_a, stream_b = _normalized(obs_a.bus), _normalized(obs_b.bus)
+        assert len(stream_a) > 100
+        assert stream_a == stream_b
+
+    def test_identical_coherent_runs_identical_streams(self):
+        _, obs_a = observed_run(n=7, processors=2, coherent=True)
+        _, obs_b = observed_run(n=7, processors=2, coherent=True)
+        # The coherent fabric adds miss/directory/network events.
+        counts = obs_a.bus.counts()
+        assert counts.get("remote_miss", 0) > 0
+        assert counts.get("net_send", 0) > 0
+        assert _normalized(obs_a.bus) == _normalized(obs_b.bus)

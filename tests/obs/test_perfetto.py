@@ -1,0 +1,71 @@
+"""Perfetto/Chrome trace export: JSON schema the viewer accepts."""
+
+import json
+
+from tests.obs.conftest import observed_run
+
+#: Trace Event Format phases the exporter may produce.
+_PHASES = {"M", "X", "i", "C"}
+
+
+def traced_run(**kwargs):
+    kwargs.setdefault("n", 8)
+    kwargs.setdefault("processors", 2)
+    result, obs = observed_run(**kwargs)
+    return result, obs, obs.perfetto()
+
+
+class TestPerfettoTrace:
+    def test_top_level_shape(self):
+        _, obs, trace = traced_run()
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(trace["traceEvents"], list)
+        other = trace["otherData"]
+        assert other["nodes"] == 2
+        assert other["end_cycle"] == obs.machine.time
+        assert other["events_recorded"] == len(obs.bus)
+        assert other["events_dropped"] == obs.bus.dropped
+
+    def test_events_are_schema_valid(self):
+        _, _, trace = traced_run()
+        for event in trace["traceEvents"]:
+            phase = event["ph"]
+            assert phase in _PHASES
+            assert isinstance(event["pid"], int)
+            if phase == "M":
+                assert event["name"] in ("process_name", "thread_name")
+                assert "name" in event["args"]
+            else:
+                assert isinstance(event["ts"], int)
+                assert event["ts"] >= 0
+            if phase == "X":
+                assert event["dur"] >= 0
+                assert isinstance(event["tid"], int)
+            if phase == "i":
+                assert event["s"] in ("g", "p", "t")
+            if phase == "C":
+                assert event["args"], "counter event with no values"
+
+    def test_json_serializable(self):
+        _, _, trace = traced_run()
+        encoded = json.dumps(trace)
+        assert json.loads(encoded) == trace
+
+    def test_thread_slices_present(self):
+        _, _, trace = traced_run()
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert slices, "no thread-residency slices exported"
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert any(e["name"].startswith("trap:") for e in instants)
+
+    def test_counter_track_follows_sampler(self):
+        _, obs, trace = traced_run()
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == len(obs.sampler) * len(obs.machine.cpus)
+
+    def test_write_perfetto(self, tmp_path):
+        _, obs, trace = traced_run()
+        path = tmp_path / "trace.json"
+        written = obs.write_perfetto(str(path))
+        assert written == str(path)
+        assert json.loads(path.read_text()) == trace

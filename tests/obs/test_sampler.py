@@ -1,0 +1,68 @@
+"""Interval sampler: window bucketing, flushing, and rendering."""
+
+import pytest
+
+from repro.core.processor import CATEGORIES
+from repro.obs import IntervalSampler
+
+from tests.obs.conftest import observed_run
+
+
+def sampled_run(window=512, **kwargs):
+    kwargs.setdefault("events", False)
+    return observed_run(window=window, **kwargs)
+
+
+class TestIntervalSampler:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(window=0)
+
+    def test_windows_cover_the_run(self):
+        result, obs = sampled_run(window=512, n=8, processors=2)
+        sampler = obs.sampler
+        assert len(sampler) >= result.cycles // 512
+        ends = [end for end, _ in sampler.windows]
+        assert ends == sorted(ends)
+        # All but the final (flush) window close on a boundary the
+        # machine had just crossed.
+        for end in ends[:-1]:
+            assert end >= 512
+
+    def test_deltas_sum_to_final_counters(self):
+        _, obs = sampled_run(window=256, n=8, processors=2)
+        sampler = obs.sampler
+        for node, cpu in enumerate(obs.machine.cpus):
+            for name in CATEGORIES:
+                total = sum(deltas[node][name]
+                            for _end, deltas in sampler.windows)
+                assert total == getattr(cpu.stats, name), (node, name)
+
+    def test_utilization_series_bounded(self):
+        _, obs = sampled_run(window=512, n=8, processors=2)
+        series = obs.sampler.utilization_series()
+        assert len(series) == len(obs.sampler)
+        assert all(0.0 <= value <= 1.0 for value in series)
+        assert any(value > 0.0 for value in series)
+        per_node = obs.sampler.utilization_series(node=0)
+        assert len(per_node) == len(series)
+
+    def test_to_dict_shape(self):
+        _, obs = sampled_run(window=512, n=7)
+        data = obs.sampler.to_dict()
+        assert data["window"] == 512
+        assert data["categories"] == list(CATEGORIES)
+        for window in data["windows"]:
+            assert set(window) == {"end_cycle", "nodes"}
+            for node in window["nodes"]:
+                assert set(node) == set(CATEGORIES)
+
+    def test_render_heat_strip(self):
+        _, obs = sampled_run(window=512, n=8, processors=2)
+        text = obs.sampler.render(max_windows=16)
+        assert "utilization timeline" in text
+        assert "node  0" in text
+        assert "node  1" in text
+
+    def test_render_empty(self):
+        assert IntervalSampler(64).render() == "(no samples)"

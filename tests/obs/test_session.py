@@ -1,0 +1,119 @@
+"""Observation wiring: dormant hooks, attach/detach, report shape."""
+
+import pytest
+
+from repro.lang.compiler import compile_source
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.obs import Observation
+
+from tests.obs.conftest import FIB, observed_run
+
+
+def build_machine(processors=2, coherent=False):
+    compiled = compile_source(FIB, mode="eager")
+    config = MachineConfig(
+        num_processors=processors,
+        memory_mode="coherent" if coherent else "ideal")
+    return compiled, AlewifeMachine(compiled.program, config)
+
+
+class TestDormantHooks:
+    def test_everything_disabled_by_default(self):
+        _, machine = build_machine(coherent=True)
+        assert machine.events is None
+        assert machine.sampler is None
+        assert machine.runtime.events is None
+        assert machine.runtime.scheduler.events is None
+        assert machine.runtime.futures.events is None
+        for cpu in machine.cpus:
+            assert cpu.events is None
+            assert cpu.profile_hook is None
+            assert cpu.trap_hook is None
+        fabric = machine.fabric
+        assert fabric.network.events is None
+        for component in (fabric.caches + fabric.controllers
+                          + fabric.directories):
+            assert component.events is None
+
+    def test_unobserved_run_emits_nothing(self):
+        compiled, machine = build_machine()
+        result = machine.run(entry=compiled.entry_label(), args=(8,))
+        assert result.value == 21
+        assert machine.events is None
+
+    def test_observed_and_unobserved_runs_agree(self):
+        compiled, machine = build_machine()
+        bare = machine.run(entry=compiled.entry_label(), args=(8,))
+        result, obs = observed_run(n=8, processors=2, profile=True)
+        # Instrumentation must not perturb the simulation itself.
+        assert result.value == bare.value
+        assert result.cycles == bare.cycles
+        assert obs.bus.emitted > 0
+
+
+class TestAttachDetach:
+    def test_attach_wires_all_components(self):
+        _, machine = build_machine(coherent=True)
+        obs = Observation(profile=True)
+        obs.attach(machine)
+        bus = obs.bus
+        assert machine.events is bus
+        assert machine.sampler is obs.sampler
+        assert machine.runtime.events is bus
+        assert machine.runtime.scheduler.events is bus
+        assert machine.runtime.futures.events is bus
+        fabric = machine.fabric
+        assert fabric.network.events is bus
+        for cpu in machine.cpus:
+            assert cpu.events is bus
+            assert cpu.profile_hook is not None
+        for component in (fabric.caches + fabric.controllers
+                          + fabric.directories):
+            assert component.events is bus
+
+    def test_detach_restores_dormancy(self):
+        _, machine = build_machine(coherent=True)
+        obs = Observation(profile=True)
+        obs.attach(machine)
+        obs.detach()
+        assert machine.events is None
+        assert machine.sampler is None
+        for cpu in machine.cpus:
+            assert cpu.events is None
+            assert cpu.profile_hook is None
+        assert machine.fabric.network.events is None
+
+    def test_perfetto_requires_events(self):
+        obs = Observation(events=False, window=0, profile=True)
+        with pytest.raises(ValueError):
+            obs.perfetto()
+
+
+class TestReport:
+    def test_report_sections(self):
+        result, obs = observed_run(n=8, processors=2, coherent=True,
+                                   profile=True)
+        report = obs.report(result=result)
+        assert set(report) >= {"config", "stats", "components", "result",
+                               "events", "timeline", "profile"}
+        assert report["result"]["value"] == 21
+        assert report["stats"]["num_processors"] == 2
+        components = report["components"]
+        assert set(components) >= {"scheduler", "futures", "caches",
+                                   "controllers", "directories", "network"}
+        assert len(components["caches"]) == 2
+        assert report["events"]["emitted"] == obs.bus.emitted
+
+    def test_ideal_memory_report_has_no_fabric(self):
+        result, obs = observed_run(n=7, processors=2)
+        components = obs.report(result=result)["components"]
+        assert "network" not in components
+        assert "scheduler" in components
+
+    def test_to_dict_respects_disabled_consumers(self):
+        _, obs = observed_run(n=6, events=True, window=0, profile=False)
+        data = obs.to_dict()
+        assert "events" in data
+        assert "timeline" not in data
+        assert "profile" not in data
