@@ -8,6 +8,7 @@ throughput bounds how large a benchmark instance the harness can use.)
 import time
 
 from repro.lang.run import run_mult
+from repro.machine.config import MachineConfig
 from repro.obs import Observation
 from repro import workloads
 
@@ -83,3 +84,44 @@ def test_instrumentation_overhead(benchmark):
     assert ratio < 4.0
     instructions = result.stats.instructions
     assert instructions / bare > 10_000
+
+
+def test_transaction_tracing_overhead(benchmark):
+    """A fully-traced coherent run (event bus + sampler + profiler +
+    transaction tracer) must stay within 4x of its dormant twin — the
+    acceptance budget for the txn tracer's hot-path hooks."""
+    module = workloads.get("fib")
+    source = module.source()
+    config = MachineConfig(num_processors=4, memory_mode="coherent")
+
+    def run(observe=None):
+        start = time.time()
+        result = run_mult(source, mode="eager", args=(10,), config=config,
+                          observe=observe)
+        return result, time.time() - start
+
+    def measure():
+        bare = traced = 0.0
+        result = obs = None
+        for _ in range(2):
+            result, elapsed = run()
+            bare += elapsed
+            obs = Observation(events=True, window=4096, profile=True,
+                              txn=True)
+            _, elapsed = run(obs)
+            traced += elapsed
+        return result, obs, bare / 2, traced / 2
+
+    result, obs, bare, traced = benchmark.pedantic(measure, rounds=1,
+                                                   iterations=1,
+                                                   warmup_rounds=0)
+    ratio = traced / bare if bare else float("inf")
+    print("dormant %.3fs, fully traced %.3fs: %.2fx overhead (%d txns)"
+          % (bare, traced, ratio, obs.txn.emitted))
+    benchmark.extra_info["dormant_s"] = round(bare, 4)
+    benchmark.extra_info["traced_s"] = round(traced, 4)
+    benchmark.extra_info["traced_ratio"] = round(ratio, 3)
+    benchmark.extra_info["transactions"] = obs.txn.emitted
+    assert result.value == module.reference(10)
+    assert obs.txn.emitted > 0
+    assert ratio < 4.0

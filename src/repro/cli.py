@@ -5,8 +5,10 @@ Subcommands::
     april run PROGRAM.mult [-p CPUS] [--mode eager|lazy|sequential]
                            [--encore] [--coherent] [--args 10 ...]
                            [--json] [--profile] [--timeline]
-                           [--events out.json] [--window N]
-    april report PROGRAM.mult [run options] [--out report.json]
+                           [--events out.json] [--txn out.json] [--window N]
+    april report PROGRAM.mult [run options] [--histograms]
+                              [--out report.json]
+    april bench [--out BENCH_simulator.json] [--check baseline] [--quick]
     april asm PROGRAM.s          # assemble + list
     april table3 [--programs fib factor]
     april figure5
@@ -41,12 +43,15 @@ def _build_observation(args, force=False):
     profile = getattr(args, "profile", False)
     events = getattr(args, "events", None)
     timeline = getattr(args, "timeline", False)
-    if not (force or profile or events or timeline):
+    txn = getattr(args, "txn", None)
+    histograms = getattr(args, "histograms", False)
+    if not (force or profile or events or timeline or txn or histograms):
         return None
     return Observation(
         events=bool(events) or force,
         window=args.window,
         profile=profile or force,
+        txn=bool(txn) or histograms or force,
     )
 
 
@@ -87,7 +92,7 @@ def _cmd_run(args):
             print()
             print(obs.sampler.render())
 
-    return _write_trace(obs, args)
+    return _write_trace(obs, args) or _write_txn(obs, args)
 
 
 def _write_trace(obs, args):
@@ -105,9 +110,28 @@ def _write_trace(obs, args):
     return 0
 
 
+def _write_txn(obs, args):
+    """Write the coherence-transaction JSON if requested."""
+    txn = getattr(args, "txn", None)
+    if obs is None or not txn:
+        return 0
+    try:
+        path = obs.write_txn(txn)
+    except OSError as exc:
+        print("error: cannot write %s: %s" % (txn, exc.strerror),
+              file=sys.stderr)
+        return 1
+    summary = obs.txn.summary()
+    print("wrote %d coherence transactions to %s"
+          % (summary["recorded"], path), file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args):
     result, obs = _run_observed(args, force_obs=True)
     report = obs.report(result=result, top=args.top)
+    if args.histograms and "histograms" not in report:
+        report["histograms"] = obs.hist.to_dict()
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         try:
@@ -120,7 +144,27 @@ def _cmd_report(args):
         print("wrote report to %s" % args.out, file=sys.stderr)
     else:
         print(text)
-    return _write_trace(obs, args)
+    return _write_trace(obs, args) or _write_txn(obs, args)
+
+
+def _cmd_bench(args):
+    from repro.harness.bench import check_baseline, run_bench, write_bench
+    payload = run_bench(quick=args.quick)
+    path = write_bench(payload, args.out)
+    print("wrote benchmark results to %s" % path, file=sys.stderr)
+    print("cycles/sec: %.0f   overhead: %.2fx   traced: %.2fx"
+          % (payload["cycles_per_sec"], payload["overhead_ratio"],
+             payload["traced_ratio"]), file=sys.stderr)
+    if args.check:
+        problems, notes = check_baseline(payload, args.check)
+        for note in notes:
+            print("note: %s" % note, file=sys.stderr)
+        if problems:
+            for problem in problems:
+                print("FAIL: %s" % problem, file=sys.stderr)
+            return 1
+        print("baseline check passed", file=sys.stderr)
+    return 0
 
 
 def _cmd_asm(args):
@@ -155,6 +199,9 @@ def _add_machine_options(cmd):
                      help="fixnum arguments passed to (main ...)")
     cmd.add_argument("--events", metavar="FILE",
                      help="write a Perfetto/Chrome trace JSON of the run")
+    cmd.add_argument("--txn", metavar="FILE",
+                     help="write every coherence transaction (spans, "
+                          "latency histograms, anomalies) as JSON")
     cmd.add_argument("--window", type=int, default=4096,
                      help="utilization sampler window in cycles")
     cmd.add_argument("--top", type=int, default=20,
@@ -183,7 +230,23 @@ def build_parser():
     _add_machine_options(report_cmd)
     report_cmd.add_argument("--out", metavar="FILE",
                             help="write the report here instead of stdout")
+    report_cmd.add_argument("--histograms", action="store_true",
+                            help="include the latency histogram section "
+                                 "(p50/p90/p99 per kind/hops/node)")
     report_cmd.set_defaults(func=_cmd_report)
+
+    bench_cmd = sub.add_parser(
+        "bench", help="benchmark the simulator itself (BENCH_simulator.json)")
+    bench_cmd.add_argument("--out", metavar="FILE",
+                           default="BENCH_simulator.json",
+                           help="output path (default BENCH_simulator.json)")
+    bench_cmd.add_argument("--check", metavar="BASELINE",
+                           help="compare against a baseline JSON and fail on "
+                                ">25%% cycles/sec regression ('baseline' = "
+                                "the committed benchmarks file)")
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="smaller workloads (for CI smoke / tests)")
+    bench_cmd.set_defaults(func=_cmd_bench)
 
     asm_cmd = sub.add_parser("asm", help="assemble and list APRIL assembly")
     asm_cmd.add_argument("program")

@@ -122,6 +122,8 @@ class Processor:
         self.trap_hook = None
         #: Optional :class:`repro.obs.events.EventBus` (None = no-op hooks).
         self.events = None
+        #: Optional transaction tracer (see :mod:`repro.obs.txn`).
+        self.txn = None
         #: Opaque slot for the run-time system (scheduler, queues...).
         self.env = None
 
@@ -244,6 +246,9 @@ class Processor:
             self.events.emit(
                 EventKind.TRAP_EXIT, self.cycles, self.node_id,
                 trap=trap.kind.name, action=action.name, frame=self.fp)
+        if self.txn is not None:
+            self.txn.trap_action(self.node_id, trap.kind.name, action.name,
+                                 self.cycles, self.fp)
         if action is TrapAction.RETRY or action is TrapAction.SWITCHED:
             # PC chain untouched: the trapping instruction re-executes
             # when this frame next runs.

@@ -1,0 +1,193 @@
+"""Simulator self-benchmark: ``april bench`` and the CI perf gate.
+
+Measures the *simulator's* speed (host wall time), not the simulated
+machine: how many simulated cycles per host second the interpreter
+manages, what full observation costs over the dormant-hook path, and
+what a fully-traced coherent run (events + sampler + profiler +
+transaction tracer) costs over the same run unobserved.  Results are
+written as ``BENCH_simulator.json`` and compared in CI against the
+committed baseline in ``benchmarks/BENCH_simulator.baseline.json`` with
+a +/-25% tolerance on cycles/sec — the regression gate for the
+simulator's own performance.
+
+Wall-clock noise is real (shared CI runners), hence the generous
+tolerance and the interleaved dormant/observed measurement discipline
+borrowed from ``benchmarks/bench_simulator_speed.py``.
+"""
+
+import json
+import os
+import time
+
+from repro.lang.run import run_mult
+from repro.machine.config import MachineConfig
+from repro.obs import Observation
+from repro import workloads
+
+#: The committed baseline the ``--check baseline`` alias resolves to.
+BASELINE_PATH = os.path.join("benchmarks", "BENCH_simulator.baseline.json")
+
+#: Allowed relative drop in cycles/sec before the gate fails.
+TOLERANCE = 0.25
+
+#: A fully-traced run must stay within this multiple of its dormant twin.
+TRACED_CEILING = 4.0
+
+
+def _timed(source, observe=None, **kwargs):
+    start = time.perf_counter()
+    result = run_mult(source, observe=observe, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _sequential_throughput(quick):
+    """Raw interpreter speed: sequential fib, no fabric, no observation."""
+    module = workloads.get("fib")
+    n = 11 if quick else 13
+    result, elapsed = _timed(module.source(), mode="sequential", args=(n,))
+    assert result.value == module.reference(n)
+    return {
+        "workload": "fib(%d) sequential" % n,
+        "instructions": result.stats.instructions,
+        "cycles": result.cycles,
+        "wall_time_s": round(elapsed, 4),
+        "instr_per_sec": round(result.stats.instructions / elapsed, 1)
+        if elapsed else 0.0,
+        "cycles_per_sec": round(result.cycles / elapsed, 1)
+        if elapsed else 0.0,
+    }
+
+
+def _eager_overhead(quick):
+    """Dormant vs. fully-observed eager run (events off, profiler on)."""
+    module = workloads.get("fib")
+    source = module.source()
+    n, reps = (9, 2) if quick else (12, 3)
+    bare = observed = 0.0
+    result = None
+    for _ in range(reps):            # interleave: fair to warm-up effects
+        result, elapsed = _timed(source, mode="eager", processors=2,
+                                 args=(n,))
+        bare += elapsed
+        _, elapsed = _timed(source, mode="eager", processors=2, args=(n,),
+                            observe=Observation(profile=True, window=4096))
+        observed += elapsed
+    assert result.value == module.reference(n)
+    bare /= reps
+    observed /= reps
+    return {
+        "workload": "fib(%d) eager p2" % n,
+        "cycles": result.cycles,
+        "dormant_s": round(bare, 4),
+        "observed_s": round(observed, 4),
+        "overhead_ratio": round(observed / bare, 3) if bare else 0.0,
+        "cycles_per_sec": round(result.cycles / bare, 1) if bare else 0.0,
+    }
+
+
+def _coherent_traced(quick):
+    """Dormant vs. fully-traced coherent run (txn tracer + everything)."""
+    module = workloads.get("fib")
+    source = module.source()
+    n, reps = (8, 2) if quick else (10, 2)
+    config = MachineConfig(num_processors=4, memory_mode="coherent")
+    bare = traced = 0.0
+    result = None
+    obs = None
+    for _ in range(reps):
+        result, elapsed = _timed(source, mode="eager", args=(n,),
+                                 config=config)
+        bare += elapsed
+        obs = Observation(events=True, window=4096, profile=True, txn=True)
+        _, elapsed = _timed(source, mode="eager", args=(n,), config=config,
+                            observe=obs)
+        traced += elapsed
+    assert result.value == module.reference(n)
+    bare /= reps
+    traced /= reps
+    summary = obs.txn.summary()
+    hist = {kind: {"p50": h.percentile(50), "p90": h.percentile(90),
+                   "p99": h.percentile(99), "count": h.count}
+            for kind, h in sorted(obs.txn.histograms.by_kind.items())}
+    return {
+        "workload": "fib(%d) coherent p4" % n,
+        "cycles": result.cycles,
+        "dormant_s": round(bare, 4),
+        "traced_s": round(traced, 4),
+        "traced_ratio": round(traced / bare, 3) if bare else 0.0,
+        "transactions": summary["recorded"],
+        "histograms": hist,
+    }
+
+
+def run_bench(quick=False):
+    """Run the whole suite; returns the JSON-ready payload."""
+    start = time.perf_counter()
+    sequential = _sequential_throughput(quick)
+    eager = _eager_overhead(quick)
+    coherent = _coherent_traced(quick)
+    return {
+        "schema": "april-bench/1",
+        "suite": "simulator",
+        "quick": quick,
+        "wall_time_s": round(time.perf_counter() - start, 2),
+        "cycles_per_sec": eager["cycles_per_sec"],
+        "instr_per_sec": sequential["instr_per_sec"],
+        "overhead_ratio": eager["overhead_ratio"],
+        "traced_ratio": coherent["traced_ratio"],
+        "runs": {
+            "sequential": sequential,
+            "eager": eager,
+            "coherent": coherent,
+        },
+        "histograms": coherent["histograms"],
+    }
+
+
+def write_bench(payload, path):
+    """Write the payload as JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def resolve_baseline(spec):
+    """Map the ``--check`` argument to a baseline file path."""
+    return BASELINE_PATH if spec == "baseline" else spec
+
+
+def check_baseline(payload, spec, tolerance=TOLERANCE):
+    """Compare a payload to a baseline; returns (problems, notes).
+
+    ``problems`` non-empty means the gate fails: cycles/sec dropped more
+    than ``tolerance`` below the baseline, or the fully-traced run
+    exceeded the absolute :data:`TRACED_CEILING`.  Improvements beyond
+    the tolerance are reported as notes (time to refresh the baseline).
+    """
+    path = resolve_baseline(spec)
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        return (["cannot read baseline %s: %s" % (path, exc)], [])
+    problems, notes = [], []
+    base_rate = baseline.get("cycles_per_sec", 0.0)
+    rate = payload.get("cycles_per_sec", 0.0)
+    if base_rate > 0:
+        ratio = rate / base_rate
+        if ratio < 1.0 - tolerance:
+            problems.append(
+                "cycles/sec regressed %.0f%%: %.0f vs baseline %.0f"
+                % (100 * (1.0 - ratio), rate, base_rate))
+        elif ratio > 1.0 + tolerance:
+            notes.append(
+                "cycles/sec improved %.0f%% over baseline (%.0f vs %.0f); "
+                "consider refreshing %s"
+                % (100 * (ratio - 1.0), rate, base_rate, path))
+    traced = payload.get("traced_ratio", 0.0)
+    if traced > TRACED_CEILING:
+        problems.append(
+            "fully-traced run is %.2fx its dormant twin (ceiling %.1fx)"
+            % (traced, TRACED_CEILING))
+    return problems, notes

@@ -82,6 +82,8 @@ class Cache:
         self.stats = CacheStats()
         #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
         self.events = None
+        #: Optional transaction tracer (see :mod:`repro.obs.txn`).
+        self.txn = None
         # Fence counters, one per hardware context (Section 3.4).
         self.fence_counters = {}
 
@@ -149,6 +151,8 @@ class Cache:
             self.events.emit(
                 EventKind.CACHE_INVALIDATE, now, self.node_id,
                 block=line.tag, state=old.value)
+        if self.txn is not None:
+            self.txn.inv_leg(self.node_id, line.tag, old.value, now)
         return old
 
     def downgrade(self, address):

@@ -75,6 +75,8 @@ class CacheController(MemoryPort):
         self.stats = ControllerStats()
         #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
         self.events = None
+        #: Optional transaction tracer (see :mod:`repro.obs.txn`).
+        self.txn = None
         self._fence_acks = []         # (ack time, context id)
         self._ipi_target = 0
         self._bt_src = 0
@@ -107,7 +109,12 @@ class CacheController(MemoryPort):
             return outcome
         value, was_full, trap_kind = self.memory.sync_load(address, flavor)
         if trap_kind is not None:
+            if self.txn is not None:
+                self.txn.fe_fault(self.node_id, address, trap_kind.name,
+                                  self._now(context), cpu=context)
             return MemOutcome.trap(trap_kind, cycles=1, fe_full=was_full)
+        if self.txn is not None:
+            self.txn.fe_sync(self.node_id, address, self._now(context))
         return MemOutcome.hit(value=value, cycles=self._last_cycles,
                               fe_full=was_full)
 
@@ -118,7 +125,12 @@ class CacheController(MemoryPort):
             return outcome
         was_full, trap_kind = self.memory.sync_store(address, value, flavor)
         if trap_kind is not None:
+            if self.txn is not None:
+                self.txn.fe_fault(self.node_id, address, trap_kind.name,
+                                  self._now(context), cpu=context)
             return MemOutcome.trap(trap_kind, cycles=1, fe_full=was_full)
+        if self.txn is not None:
+            self.txn.fe_sync(self.node_id, address, self._now(context))
         return MemOutcome.hit(cycles=self._last_cycles, fe_full=was_full)
 
     # -- the coherence walk ------------------------------------------------------
@@ -147,14 +159,22 @@ class CacheController(MemoryPort):
 
         completion = self.pending.get(block)
         if completion is None:
+            txn = self.txn
+            if txn is not None:
+                txn.begin(self.node_id, block, self._home(block), is_write,
+                          now, cpu=context, upgrade=line is not None)
             completion, local = self._start_transaction(
                 block, is_write, now)
+            if txn is not None:
+                txn.commit(completion, local)
             if local:
                 # Local miss: the controller holds the processor (MHOLD).
                 self.stats.local_misses += 1
                 self.stats.holds += 1
                 self._fill(block, is_write, now)
                 self._last_cycles = max(completion - now, 1)
+                if txn is not None:
+                    txn.complete(self.node_id, block, completion)
                 return None
             self.stats.remote_misses += 1
             self.pending[block] = completion
@@ -168,6 +188,8 @@ class CacheController(MemoryPort):
             del self.pending[block]
             self._fill(block, is_write, now)
             self._last_cycles = 1
+            if self.txn is not None:
+                self.txn.complete(self.node_id, block, now)
             return None
 
         if wait:
@@ -176,10 +198,14 @@ class CacheController(MemoryPort):
             self._fill(block, is_write, now)
             self.stats.holds += 1
             self._last_cycles = max(completion - now, 1)
+            if self.txn is not None:
+                self.txn.complete(self.node_id, block, completion)
             return None
 
         # Trap the processor (MEXC): it will switch-spin and retry.
         self.stats.traps += 1
+        if self.txn is not None:
+            self.txn.trap_retry(self.node_id, block, now, cpu=context)
         return MemOutcome.trap(TrapKind.CACHE_MISS, cycles=1,
                                detail="block %#x ready at %d" % (
                                    block, completion))
@@ -190,45 +216,48 @@ class CacheController(MemoryPort):
         Directory state and peer cache states update immediately; the
         returned time reflects request, directory/memory service, owner
         fetch, invalidation acknowledgments, and the data response,
-        each over the contended network.
+        each over the contended network.  The phase boundaries tile the
+        transaction exactly — request / service / coherence / response —
+        and are reported to the transaction tracer when one is active.
         """
         system = self.system
         network = system.network
         home = self._home(block)
         directory = system.directories[home]
         data_flits = self._data_flits()
-        memory_cycles = system.memory_latency
 
         arrive = network.send(self.node_id, home, REQUEST_FLITS, now)
-        ready = arrive + memory_cycles
+        service_done = arrive + system.memory_latency
+        coherence_done = service_done
         remote_legs = home != self.node_id
 
         if is_write:
             invalidees, fetch_from = directory.handle_write(
                 block, self.node_id, now=arrive)
-            acks_done = ready
             for victim in invalidees:
-                system.caches[victim].invalidate(block, now=ready)
+                system.caches[victim].invalidate(block, now=service_done)
                 ack = network.round_trip(
-                    home, victim, REQUEST_FLITS, ACK_FLITS, ready)
-                acks_done = max(acks_done, ack)
+                    home, victim, REQUEST_FLITS, ACK_FLITS, service_done)
+                coherence_done = max(coherence_done, ack)
                 remote_legs = remote_legs or victim != self.node_id
             if fetch_from is not None and fetch_from != self.node_id:
                 fetched = network.round_trip(
-                    home, fetch_from, REQUEST_FLITS, data_flits, ready)
-                acks_done = max(acks_done, fetched)
+                    home, fetch_from, REQUEST_FLITS, data_flits, service_done)
+                coherence_done = max(coherence_done, fetched)
                 remote_legs = True
-            ready = acks_done
         else:
             fetch_from = directory.handle_read(block, self.node_id,
                                                now=arrive)
             if fetch_from is not None and fetch_from != self.node_id:
                 system.caches[fetch_from].downgrade(block)
-                ready = network.round_trip(
-                    home, fetch_from, REQUEST_FLITS, data_flits, ready)
+                coherence_done = network.round_trip(
+                    home, fetch_from, REQUEST_FLITS, data_flits, service_done)
                 remote_legs = True
 
-        done = network.send(home, self.node_id, data_flits, ready)
+        done = network.send(home, self.node_id, data_flits, coherence_done)
+        if self.txn is not None:
+            self.txn.mark_phases(now, arrive, service_done, coherence_done,
+                                 done)
         return done, not remote_legs
 
     def _fill(self, block, is_write, now=0):
@@ -255,8 +284,14 @@ class CacheController(MemoryPort):
         self.system.directories[home].handle_eviction(
             block, self.node_id, dirty)
         if dirty:
+            txn = self.txn
+            if txn is not None:
+                txn.begin(self.node_id, block, home, True, now, cpu=context,
+                          kind="writeback")
             ack = self.system.network.round_trip(
                 self.node_id, home, self._data_flits(), ACK_FLITS, now)
+            if txn is not None:
+                txn.commit(ack, home == self.node_id, kind="writeback")
             self._fence_acks.append((ack, ctx))
         return MemOutcome.hit(cycles=2)
 

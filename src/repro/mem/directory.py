@@ -49,6 +49,8 @@ class Directory:
         self.owner_fetches = 0
         #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
         self.events = None
+        #: Optional transaction tracer (see :mod:`repro.obs.txn`).
+        self.txn = None
 
     def counters(self):
         """Counter snapshot for reports."""
@@ -81,6 +83,9 @@ class Directory:
             self.events.emit(
                 EventKind.DIRECTORY_READ, now, self.node_id,
                 block=block, requester=requester, state=item.state.value)
+        if self.txn is not None:
+            self.txn.dir_leg(self.node_id, block, "read", item.state.value,
+                             0, now)
         fetch_from = None
         if item.state is DirState.MODIFIED and item.owner != requester:
             fetch_from = item.owner
@@ -122,6 +127,9 @@ class Directory:
                 EventKind.DIRECTORY_WRITE, now, self.node_id,
                 block=block, requester=requester,
                 invalidations=len(invalidees))
+        if self.txn is not None:
+            self.txn.dir_leg(self.node_id, block, "write", item.state.value,
+                             len(invalidees), now)
         item.state = DirState.MODIFIED
         item.owner = requester
         item.sharers = set()

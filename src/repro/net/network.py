@@ -49,6 +49,8 @@ class Network:
         self.stats = NetworkStats()
         #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
         self.events = None
+        #: Optional transaction tracer (see :mod:`repro.obs.txn`).
+        self.txn = None
 
     def send(self, src, dst, size_flits, now):
         """Deliver a message; returns its arrival time.
@@ -81,6 +83,9 @@ class Network:
                 hops=len(links), contention=contention)
             self.events.emit(
                 EventKind.NET_DELIVER, time, dst, src=src, flits=size_flits)
+        if self.txn is not None:
+            self.txn.net_leg(src, dst, size_flits, len(links), now, time,
+                             contention)
         return time
 
     def round_trip(self, src, dst, request_flits, reply_flits, now,

@@ -13,7 +13,11 @@ built in:
   (useful/trap/switch/spin/stall/idle) per N-cycle window;
 * the :class:`~repro.obs.profiler.HotPathProfiler` — a flat
   PC -> cycle-cost profile, folded through the assembler/Mul-T source
-  map to source lines.
+  map to source lines;
+* the :class:`~repro.obs.txn.TransactionTracer` — causal spans for
+  every coherence transaction (miss, upgrade, full/empty fault,
+  write-back) with streaming log2 latency histograms
+  (:mod:`repro.obs.hist`) by kind, hop distance, and node.
 
 The event stream exports to Chrome/Perfetto trace JSON
 (:mod:`repro.obs.perfetto`; open the file in ``ui.perfetto.dev``), and
@@ -35,11 +39,13 @@ From the shell: ``april run prog.mult --profile --events out.json
 """
 
 from repro.obs.events import Event, EventBus, EventKind
+from repro.obs.hist import LatencyHistograms, Log2Histogram
 from repro.obs.perfetto import perfetto_trace
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import machine_report
 from repro.obs.sampler import IntervalSampler
 from repro.obs.session import Observation
+from repro.obs.txn import TransactionTracer, TxnRecord
 
 __all__ = [
     "Event",
@@ -47,7 +53,11 @@ __all__ = [
     "EventKind",
     "HotPathProfiler",
     "IntervalSampler",
+    "LatencyHistograms",
+    "Log2Histogram",
     "Observation",
+    "TransactionTracer",
+    "TxnRecord",
     "machine_report",
     "perfetto_trace",
 ]

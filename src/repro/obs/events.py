@@ -80,6 +80,7 @@ class EventBus:
     def __init__(self, capacity=1_000_000):
         self.records = deque(maxlen=capacity)
         self.emitted = 0
+        self._dropped = 0
         self._counts = {}
         self._subscribers = []          # called for every event
         self._kind_subscribers = {}     # EventKind -> [callables]
@@ -90,13 +91,21 @@ class EventBus:
 
     @property
     def dropped(self):
-        """Events pushed out of the ring by capacity."""
-        return self.emitted - len(self.records)
+        """Events pushed out of the ring by capacity.
+
+        Counted explicitly at each overflowing append — not derived
+        from ``emitted - len(records)``, which silently drifts if the
+        ring is ever consumed or resized out-of-band.
+        """
+        return self._dropped
 
     def emit(self, kind, cycle, node, **data):
         """Record an event and notify subscribers."""
         event = Event(kind, cycle, node, data)
-        self.records.append(event)
+        records = self.records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self._dropped += 1
+        records.append(event)
         self.emitted += 1
         self._counts[kind] = self._counts.get(kind, 0) + 1
         for callback in self._subscribers:

@@ -1,0 +1,118 @@
+"""Streaming latency histograms with fixed log2 buckets.
+
+A :class:`Log2Histogram` is O(1) memory: a fixed array of power-of-two
+buckets (bucket ``i`` holds values whose bit length is ``i``, i.e. the
+range ``[2^(i-1), 2^i)``; bucket 0 holds exactly 0).  Recording is one
+``bit_length`` plus three adds, so the histograms can sit on the
+transaction-completion path of a fully traced run without changing its
+complexity.
+
+Percentiles are bucket-resolved: ``percentile(p)`` returns the upper
+bound of the bucket containing the p-th ranked value (clamped to the
+observed maximum), which is exact to within the 2x bucket width — the
+resolution the SPARC-T3-style latency-distribution analyses use.
+
+:class:`LatencyHistograms` keys one histogram per transaction kind, per
+hop distance to home, and per issuing node — the three axes the paper's
+latency-tolerance argument turns on.
+"""
+
+#: Fixed bucket count: values up to 2^33-1 cycles (beyond any run).
+NUM_BUCKETS = 34
+
+
+class Log2Histogram:
+    """One streaming histogram over non-negative integer samples."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.counts = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = 0
+
+    def record(self, value):
+        """Add one sample (negative values clamp to 0)."""
+        if value < 0:
+            value = 0
+        index = value.bit_length()
+        if index >= NUM_BUCKETS:
+            index = NUM_BUCKETS - 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+    @staticmethod
+    def bucket_bounds(index):
+        """Inclusive ``(low, high)`` value range of a bucket."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """Upper bound of the bucket holding the p-th ranked sample."""
+        if not self.count:
+            return 0
+        rank = max(1, -(-self.count * p // 100))   # ceil without floats
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return min(self.bucket_bounds(index)[1], self.max)
+        return self.max
+
+    def to_dict(self):
+        """JSON-ready summary: count, sum, mean, extrema, percentiles,
+        and the non-empty buckets labelled by their value range."""
+        buckets = {}
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                low, high = self.bucket_bounds(index)
+                buckets["%d-%d" % (low, high)] = bucket_count
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": round(self.mean, 2),
+            "min": self.min if self.min is not None else 0,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+        }
+
+
+class LatencyHistograms:
+    """Transaction-latency histograms keyed by kind, hop distance, node."""
+
+    def __init__(self):
+        self.by_kind = {}
+        self.by_hops = {}
+        self.by_node = {}
+
+    def observe(self, kind, latency, hops, node):
+        """Record one completed transaction's latency on all three axes."""
+        for table, key in ((self.by_kind, kind),
+                           (self.by_hops, hops),
+                           (self.by_node, node)):
+            hist = table.get(key)
+            if hist is None:
+                hist = table[key] = Log2Histogram()
+            hist.record(latency)
+
+    def to_dict(self):
+        return {
+            "kinds": {str(k): h.to_dict() for k, h in self.by_kind.items()},
+            "hops": {str(k): h.to_dict() for k, h in self.by_hops.items()},
+            "nodes": {str(k): h.to_dict() for k, h in self.by_node.items()},
+        }

@@ -12,7 +12,13 @@ Mapping:
 * a thread residing in a frame (THREAD_LOAD .. THREAD_UNLOAD/EXIT) is a
   complete slice ("X") named after the virtual thread;
 * traps, steals, and future events are instant events ("i");
-* sampler windows become per-node "utilization" counter tracks ("C").
+* sampler windows become per-node "utilization" counter tracks ("C");
+* coherence transactions (when a :class:`TransactionTracer` observed
+  the run) are *async* events ("b"/"e", cat ``txn``) on the issuing
+  node — the transaction envelope with its request/service/coherence/
+  response phases nested inside — plus *flow* events ("s"/"t"/"f", cat
+  ``txn-flow``) stitching the issue, every switch-spin re-trap, and the
+  completion together, so a slow remote miss is clickable end-to-end.
 
 Simulated cycles are written one-to-one as trace microseconds.
 """
@@ -35,7 +41,47 @@ def _metadata(pid, tid, name, kind):
     return record
 
 
-def perfetto_trace(bus, num_nodes, end_cycle, sampler=None):
+def _transaction_events(transactions, end_cycle):
+    """Async + flow trace events for every finished transaction."""
+    trace_events = []
+    for record in transactions.finished:
+        ident = "0x%x" % record.txn_id
+        pid, tid = record.node, record.frame or 0
+        end = record.ready if record.ready is not None else end_cycle
+        args = {"block": "0x%x" % record.block, "home": record.home,
+                "hops": record.hops, "retries": record.retries,
+                "latency": record.latency}
+        trace_events.append({
+            "ph": "b", "cat": "txn", "id": ident, "pid": pid, "tid": tid,
+            "ts": record.issue, "name": record.kind, "args": args,
+        })
+        for name, start, stop in record.phases:
+            trace_events.append({"ph": "b", "cat": "txn", "id": ident,
+                                 "pid": pid, "tid": tid, "ts": start,
+                                 "name": name})
+            trace_events.append({"ph": "e", "cat": "txn", "id": ident,
+                                 "pid": pid, "tid": tid, "ts": stop,
+                                 "name": name})
+        trace_events.append({"ph": "e", "cat": "txn", "id": ident,
+                             "pid": pid, "tid": tid, "ts": end,
+                             "name": record.kind})
+        trace_events.append({"ph": "s", "cat": "txn-flow", "id": ident,
+                             "pid": pid, "tid": tid, "ts": record.issue,
+                             "name": record.kind})
+        for trap in record.traps:
+            frame = trap.get("to_frame")
+            trace_events.append({"ph": "t", "cat": "txn-flow", "id": ident,
+                                 "pid": pid,
+                                 "tid": frame if frame is not None else tid,
+                                 "ts": trap["cycle"], "name": record.kind})
+        trace_events.append({"ph": "f", "bp": "e", "cat": "txn-flow",
+                             "id": ident, "pid": pid, "tid": tid, "ts": end,
+                             "name": record.kind})
+    return trace_events
+
+
+def perfetto_trace(bus, num_nodes, end_cycle, sampler=None,
+                   transactions=None):
     """Build the Chrome trace dict for an event stream.
 
     Args:
@@ -43,6 +89,8 @@ def perfetto_trace(bus, num_nodes, end_cycle, sampler=None):
         num_nodes: machine size, for the process metadata.
         end_cycle: run end; closes slices still open at the end.
         sampler: optional :class:`IntervalSampler` for counter tracks.
+        transactions: optional :class:`TransactionTracer` whose finished
+            records become async/flow events.
     """
     trace_events = []
     for node in range(num_nodes):
@@ -90,6 +138,9 @@ def perfetto_trace(bus, num_nodes, end_cycle, sampler=None):
 
     for key in list(open_slices):
         close_slice(key, end_cycle)
+
+    if transactions is not None:
+        trace_events.extend(_transaction_events(transactions, end_cycle))
 
     if sampler is not None:
         start = 0               # the flush window is narrower than `window`

@@ -7,17 +7,27 @@ network, scheduler, futures) — what ``april report`` and ``april run
 human ``render()`` text.
 """
 
+from repro.runtime.sync import SyncAllocator
+
 
 def component_counters(machine):
     """Per-component counter snapshot of a machine (JSON-ready)."""
     runtime = machine.runtime
+    queues = [queue.counters() for queue in runtime.lazy_queues]
+    sync = getattr(runtime, "sync", None)
     data = {
         "scheduler": runtime.scheduler.counters(),
         "futures": runtime.futures.counters(),
         "lazy": {
             "pushed": runtime.lazy_pushed,
             "stolen": runtime.lazy_stolen,
+            "discards": sum(q["discards"] for q in queues),
+            "peak_depth": max((q["peak_depth"] for q in queues), default=0),
+            "live": sum(q["live"] for q in queues),
+            "queues": queues,
         },
+        "sync": (sync.counters() if sync is not None
+                 else SyncAllocator.empty_counters()),
     }
     fabric = machine.fabric
     if fabric is not None:

@@ -1,10 +1,11 @@
 """The :class:`Observation` session: wire consumers into a machine.
 
-One object gathers the event bus, the interval sampler, and the
-hot-path profiler, and knows how to thread them through every
-instrumented component of an :class:`AlewifeMachine`.  Components whose
-``events`` slot stays ``None`` keep their no-op fast path; attaching is
-what turns the dormant hooks on.
+One object gathers the event bus, the interval sampler, the hot-path
+profiler, and the coherence-transaction tracer, and knows how to thread
+them through every instrumented component of an
+:class:`AlewifeMachine`.  Components whose ``events``/``txn`` slots stay
+``None`` keep their no-op fast path; attaching is what turns the
+dormant hooks on.
 """
 
 import json
@@ -14,6 +15,7 @@ from repro.obs.perfetto import perfetto_trace
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import machine_report
 from repro.obs.sampler import IntervalSampler
+from repro.obs.txn import TransactionTracer
 
 
 class Observation:
@@ -24,14 +26,22 @@ class Observation:
         capacity: event ring size (None = unbounded).
         window: sampler window in cycles; 0/None disables the sampler.
         profile: enable the per-instruction hot-path profiler.
+        txn: enable the coherence-transaction tracer (+ histograms).
+        txn_capacity: finished-transaction ring size (None = unbounded).
     """
 
     def __init__(self, events=True, capacity=1_000_000, window=4096,
-                 profile=False):
+                 profile=False, txn=False, txn_capacity=200_000):
         self.bus = EventBus(capacity) if events else None
         self.sampler = IntervalSampler(window) if window else None
         self.profiler = HotPathProfiler() if profile else None
+        self.txn = TransactionTracer(txn_capacity) if txn else None
         self.machine = None
+
+    @property
+    def hist(self):
+        """The transaction-latency histograms (None without ``txn``)."""
+        return self.txn.histograms if self.txn is not None else None
 
     # -- wiring ------------------------------------------------------------
 
@@ -44,24 +54,33 @@ class Observation:
         if self.profiler is not None:
             self.profiler.attach(machine)
         bus = self.bus
-        if bus is None:
-            return
-        machine.events = bus
-        runtime = machine.runtime
-        runtime.events = bus
-        runtime.scheduler.events = bus
-        runtime.futures.events = bus
-        for cpu in machine.cpus:
-            cpu.events = bus
-        fabric = machine.fabric
-        if fabric is not None:
-            fabric.network.events = bus
-            for cache in fabric.caches:
-                cache.events = bus
-            for controller in fabric.controllers:
-                controller.events = bus
-            for directory in fabric.directories:
-                directory.events = bus
+        if bus is not None:
+            machine.events = bus
+            runtime = machine.runtime
+            runtime.events = bus
+            runtime.scheduler.events = bus
+            runtime.futures.events = bus
+            for cpu in machine.cpus:
+                cpu.events = bus
+            fabric = machine.fabric
+            if fabric is not None:
+                fabric.network.events = bus
+                for cache in fabric.caches:
+                    cache.events = bus
+                for controller in fabric.controllers:
+                    controller.events = bus
+                for directory in fabric.directories:
+                    directory.events = bus
+        tracer = self.txn
+        if tracer is not None:
+            for cpu in machine.cpus:
+                cpu.txn = tracer
+            fabric = machine.fabric
+            if fabric is not None:
+                fabric.network.txn = tracer
+                for component in (fabric.caches + fabric.controllers
+                                  + fabric.directories):
+                    component.txn = tracer
 
     def detach(self):
         """Remove every hook installed by :meth:`attach`."""
@@ -76,14 +95,17 @@ class Observation:
         runtime.futures.events = None
         for cpu in machine.cpus:
             cpu.events = None
+            cpu.txn = None
         if self.profiler is not None:
             self.profiler.detach(machine)
         fabric = machine.fabric
         if fabric is not None:
             fabric.network.events = None
+            fabric.network.txn = None
             for component in (fabric.caches + fabric.controllers
                               + fabric.directories):
                 component.events = None
+                component.txn = None
 
     # -- exports -----------------------------------------------------------
 
@@ -93,13 +115,19 @@ class Observation:
             raise ValueError("Observation was built with events=False")
         machine = self.machine
         return perfetto_trace(self.bus, len(machine.cpus), machine.time,
-                              sampler=self.sampler)
+                              sampler=self.sampler, transactions=self.txn)
 
     def write_perfetto(self, path):
         """Write the Perfetto trace JSON; returns the path."""
         with open(path, "w") as handle:
             json.dump(self.perfetto(), handle)
         return path
+
+    def write_txn(self, path):
+        """Write the transaction trace JSON; returns the path."""
+        if self.txn is None:
+            raise ValueError("Observation was built with txn=False")
+        return self.txn.write(path)
 
     def report(self, result=None, top=40):
         """Full machine report dict (stats + components + observations)."""
@@ -120,4 +148,7 @@ class Observation:
             data["timeline"] = self.sampler.to_dict()
         if self.profiler is not None:
             data["profile"] = self.profiler.to_dict(top=top)
+        if self.txn is not None:
+            data["transactions"] = self.txn.summary()
+            data["histograms"] = self.txn.histograms.to_dict()
         return data

@@ -75,13 +75,32 @@ class LazyQueue:
     def __init__(self, node):
         self.node = node
         self._markers = deque()
+        self.pushes = 0
+        self.steals = 0
+        self.discards = 0
+        self.peak_depth = 0
+
+    def counters(self):
+        """Counter snapshot for reports."""
+        return {
+            "pushes": self.pushes,
+            "steals": self.steals,
+            "discards": self.discards,
+            "peak_depth": self.peak_depth,
+            "live": len(self),
+        }
 
     def push(self, marker):
         self._markers.append(marker)
+        self.pushes += 1
+        depth = len(self)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
 
     def discard(self, marker):
         """Owner finished the marker unstolen; drop it lazily."""
         marker.active = False
+        self.discards += 1
         while self._markers and not self._markers[-1].active:
             self._markers.pop()
 
@@ -106,6 +125,7 @@ class LazyQueue:
                 )
             self._markers.popleft()
             marker.stolen = True
+            self.steals += 1
             return marker
         return None
 

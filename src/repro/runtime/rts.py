@@ -51,6 +51,9 @@ class RuntimeSystem:
         self.lazy_queues = [LazyQueue(i) for i in range(len(cpus))]
         self.lazy_pushed = 0
         self.lazy_stolen = 0
+        #: The :class:`~repro.runtime.sync.SyncAllocator`, if one was
+        #: built for this machine (it registers itself here).
+        self.sync = None
 
         self.done = False
         self.result = None

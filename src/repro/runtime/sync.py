@@ -90,6 +90,33 @@ class SyncAllocator:
         self.machine = machine
         self.heap = machine.runtime.kernel_heap(0)
         self.memory = machine.memory
+        self.istructure_arrays = 0
+        self.istructure_slots = 0
+        self.locks = 0
+        self.barriers = 0
+        self.words_allocated = 0
+        machine.runtime.sync = self
+
+    def counters(self):
+        """Counter snapshot for reports."""
+        return {
+            "istructure_arrays": self.istructure_arrays,
+            "istructure_slots": self.istructure_slots,
+            "locks": self.locks,
+            "barriers": self.barriers,
+            "words_allocated": self.words_allocated,
+        }
+
+    @staticmethod
+    def empty_counters():
+        """The all-zero snapshot for machines with no allocator."""
+        return {
+            "istructure_arrays": 0,
+            "istructure_slots": 0,
+            "locks": 0,
+            "barriers": 0,
+            "words_allocated": 0,
+        }
 
     def new_istructure_array(self, length):
         """An array of empty I-structure slots; returns the base address."""
@@ -97,6 +124,9 @@ class SyncAllocator:
         for i in range(length):
             self.memory.write_word(base + 4 * i, 0)
             self.memory.set_full(base + 4 * i, False)
+        self.istructure_arrays += 1
+        self.istructure_slots += length
+        self.words_allocated += max(length, 2)
         return base
 
     def new_lock(self):
@@ -104,12 +134,16 @@ class SyncAllocator:
         base = self.heap.arena.allocate(LOCK_WORDS)
         self.memory.write_word(base, 0)
         self.memory.set_full(base, True)
+        self.locks += 1
+        self.words_allocated += LOCK_WORDS
         return base
 
     def new_barrier(self, parties):
         """A barrier for ``parties`` threads; returns its address."""
         if parties < 1:
             raise RuntimeSystemError("barrier needs at least one party")
+        self.barriers += 1
+        self.words_allocated += BARRIER_WORDS
         base = self.heap.arena.allocate(BARRIER_WORDS)
         self.memory.write_word(base + 0, 0)
         self.memory.set_full(base + 0, True)                    # lock free

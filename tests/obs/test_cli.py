@@ -40,6 +40,24 @@ class TestRunJson:
         assert "utilization timeline" in out
 
 
+class TestTxnOption:
+    def test_txn_file_written(self, fib_program, capsys, tmp_path):
+        txn_path = tmp_path / "txn.json"
+        assert main(["run", fib_program, "-p", "4", "--coherent",
+                     "--args", "6", "--txn", str(txn_path)]) == 0
+        err = capsys.readouterr().err
+        assert "coherence transactions" in err
+        payload = json.loads(txn_path.read_text())
+        remote = [t for t in payload["transactions"] if t["remote"]]
+        assert remote, "coherent 4-node run wrote no remote transaction"
+        for txn in remote:
+            span = sum(p["end"] - p["start"] for p in txn["phases"])
+            assert span == txn["latency"]
+        assert set(payload) >= {"transactions", "open", "emitted",
+                                "dropped", "by_kind", "histograms",
+                                "anomalies"}
+
+
 class TestReportCommand:
     def test_report_stdout(self, fib_program, capsys):
         assert main(["report", fib_program, "-p", "2", "--args", "7"]) == 0
@@ -55,3 +73,55 @@ class TestReportCommand:
         report = json.loads(out_path.read_text())
         assert "network" in report["components"]
         assert report["result"]["value"] == 8
+
+    def test_report_histograms(self, fib_program, capsys):
+        assert main(["report", fib_program, "-p", "2", "--coherent",
+                     "--args", "6", "--histograms"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        hist = report["histograms"]
+        assert hist["kinds"], "no per-kind latency histograms"
+        for summary in hist["kinds"].values():
+            assert set(summary) >= {"count", "p50", "p90", "p99",
+                                    "buckets"}
+        assert report["components"]["sync"]["locks"] == 0
+
+
+class TestBenchCommand:
+    def test_bench_writes_payload(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_simulator.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "cycles/sec" in err
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "april-bench/1"
+        assert payload["quick"] is True
+        assert payload["cycles_per_sec"] > 0
+        assert payload["instr_per_sec"] > 0
+        assert set(payload["runs"]) == {"sequential", "eager", "coherent"}
+        assert payload["histograms"], "bench recorded no latency histograms"
+
+    def test_bench_check_against_itself_passes(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        capsys.readouterr()
+        # A payload is always within tolerance of a baseline with the
+        # same numbers, modulo run-to-run noise; self-check by reusing
+        # the file we just wrote as the baseline.
+        again = tmp_path / "bench2.json"
+        assert main(["bench", "--quick", "--out", str(again),
+                     "--check", str(out)]) == 0
+        assert "baseline check" in capsys.readouterr().err
+
+    def test_bench_check_fails_on_regression(self, capsys, tmp_path):
+        from repro.harness.bench import check_baseline
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"cycles_per_sec": 1e12}))
+        problems, _ = check_baseline({"cycles_per_sec": 1000.0,
+                                      "traced_ratio": 1.0}, str(baseline))
+        assert problems and "regressed" in problems[0]
+
+    def test_bench_check_missing_baseline(self, tmp_path):
+        from repro.harness.bench import check_baseline
+        problems, _ = check_baseline({"cycles_per_sec": 1.0},
+                                     str(tmp_path / "nope.json"))
+        assert problems and "cannot read" in problems[0]

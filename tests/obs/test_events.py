@@ -17,6 +17,29 @@ class TestEventBus:
         assert [e.cycle for e in bus] == list(range(15, 25))
         assert bus.counts() == {"net_send": 25}
 
+    def test_dropped_exact_after_wraparound(self):
+        """`dropped` counts overflow appends explicitly: it stays exact
+        even when the ring is consumed out-of-band, and `counts()` still
+        reflects every event ever emitted."""
+        bus = EventBus(capacity=4)
+        for cycle in range(4):
+            bus.emit(EventKind.NET_SEND, cycle, 0)
+        assert bus.dropped == 0
+        for cycle in range(4, 10):
+            bus.emit(EventKind.TRAP_ENTER, cycle, 0)
+        assert bus.dropped == 6
+        # Out-of-band consumption must not inflate the drop count.
+        bus.records.popleft()
+        bus.records.popleft()
+        bus.emit(EventKind.NET_SEND, 10, 0)
+        assert bus.dropped == 6          # ring had room again
+        bus.emit(EventKind.NET_SEND, 11, 0)
+        bus.emit(EventKind.NET_SEND, 12, 0)
+        assert bus.dropped == 7          # exactly one more overflow
+        assert bus.emitted == 13
+        assert bus.counts() == {"net_send": 7, "trap_enter": 6}
+        assert sum(bus.counts().values()) == bus.emitted
+
     def test_unbounded_when_capacity_none(self):
         bus = EventBus(capacity=None)
         for cycle in range(1000):

@@ -1,0 +1,84 @@
+"""Log2 streaming histograms: buckets, percentiles, axis tables."""
+
+from repro.obs import LatencyHistograms, Log2Histogram
+from repro.obs.hist import NUM_BUCKETS
+
+
+class TestLog2Histogram:
+    def test_bucket_bounds(self):
+        assert Log2Histogram.bucket_bounds(0) == (0, 0)
+        assert Log2Histogram.bucket_bounds(1) == (1, 1)
+        assert Log2Histogram.bucket_bounds(2) == (2, 3)
+        assert Log2Histogram.bucket_bounds(5) == (16, 31)
+
+    def test_values_land_in_their_bucket(self):
+        hist = Log2Histogram()
+        for value in (0, 1, 2, 3, 4, 7, 8, 1000):
+            hist.record(value)
+            index = value.bit_length()
+            low, high = Log2Histogram.bucket_bounds(index)
+            assert low <= value <= high
+            assert hist.counts[index] >= 1
+        assert hist.count == 8
+        assert hist.total == 1025
+        assert hist.min == 0
+        assert hist.max == 1000
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        hist = Log2Histogram()
+        hist.record(1 << 60)
+        assert hist.counts[NUM_BUCKETS - 1] == 1
+
+    def test_negative_values_clamp_to_zero(self):
+        hist = Log2Histogram()
+        hist.record(-5)
+        assert hist.counts[0] == 1
+        assert hist.min == 0
+
+    def test_percentiles_bucket_resolved(self):
+        hist = Log2Histogram()
+        for _ in range(90):
+            hist.record(10)          # bucket [8, 15]
+        for _ in range(10):
+            hist.record(100)         # bucket [64, 127]
+        assert hist.percentile(50) == 15
+        assert hist.percentile(90) == 15
+        # p99 lands in the tail bucket, clamped to the observed max.
+        assert hist.percentile(99) == 100
+        assert hist.percentile(100) == 100
+
+    def test_percentile_of_empty_is_zero(self):
+        assert Log2Histogram().percentile(50) == 0
+
+    def test_to_dict_shape(self):
+        hist = Log2Histogram()
+        hist.record(3)
+        hist.record(5)
+        data = hist.to_dict()
+        assert data["count"] == 2
+        assert data["sum"] == 8
+        assert data["mean"] == 4.0
+        assert data["min"] == 3
+        assert data["max"] == 5
+        assert data["buckets"] == {"2-3": 1, "4-7": 1}
+        assert set(data) >= {"p50", "p90", "p99"}
+
+
+class TestLatencyHistograms:
+    def test_observe_populates_all_axes(self):
+        tables = LatencyHistograms()
+        tables.observe("remote_read", 40, hops=2, node=1)
+        tables.observe("remote_read", 60, hops=2, node=3)
+        tables.observe("upgrade", 12, hops=1, node=1)
+        assert tables.by_kind["remote_read"].count == 2
+        assert tables.by_kind["upgrade"].count == 1
+        assert tables.by_hops[2].count == 2
+        assert tables.by_node[1].count == 2
+
+    def test_to_dict_uses_string_keys(self):
+        tables = LatencyHistograms()
+        tables.observe("remote_write", 33, hops=3, node=0)
+        data = tables.to_dict()
+        assert set(data) == {"kinds", "hops", "nodes"}
+        assert data["hops"]["3"]["count"] == 1
+        assert data["nodes"]["0"]["p50"] == 33

@@ -69,3 +69,53 @@ class TestPerfettoTrace:
         written = obs.write_perfetto(str(path))
         assert written == str(path)
         assert json.loads(path.read_text()) == trace
+
+
+class TestTransactionEvents:
+    """Async/flow events for txn-traced runs (clickable in Perfetto)."""
+
+    def _txn_trace(self):
+        result, obs, trace = traced_run(processors=4, coherent=True,
+                                        txn=True)
+        txn_events = [e for e in trace["traceEvents"]
+                      if e.get("cat") in ("txn", "txn-flow")]
+        return obs, txn_events
+
+    def test_async_events_balanced_per_id(self):
+        obs, events = self._txn_trace()
+        assert events, "txn-traced run exported no transaction events"
+        balance = {}
+        for event in events:
+            if event["cat"] != "txn":
+                continue
+            assert event["ph"] in ("b", "e")
+            delta = 1 if event["ph"] == "b" else -1
+            balance[event["id"]] = balance.get(event["id"], 0) + delta
+        assert balance
+        assert all(v == 0 for v in balance.values())
+        assert len(balance) == len(obs.txn.finished)
+
+    def test_flow_events_stitch_each_transaction(self):
+        obs, events = self._txn_trace()
+        flows = [e for e in events if e["cat"] == "txn-flow"]
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == len(obs.txn.finished)
+        assert all(e["bp"] == "e" for e in finishes)
+        # Flow ids match the async envelopes they decorate.
+        async_ids = {e["id"] for e in events if e["cat"] == "txn"}
+        assert {e["id"] for e in flows} <= async_ids
+
+    def test_phase_spans_nested_inside_envelope(self):
+        obs, events = self._txn_trace()
+        for record in obs.txn.finished:
+            if not record.phases:
+                continue
+            ident = "0x%x" % record.txn_id
+            mine = [e for e in events
+                    if e["cat"] == "txn" and e["id"] == ident]
+            names = {e["name"] for e in mine}
+            assert record.kind in names
+            assert {name for name, _, _ in record.phases} <= names
+            assert all(record.issue <= e["ts"] for e in mine)
+            break

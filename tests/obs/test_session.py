@@ -35,6 +35,13 @@ class TestDormantHooks:
         for component in (fabric.caches + fabric.controllers
                           + fabric.directories):
             assert component.events is None
+        # The transaction-tracer slots are just as dormant.
+        assert fabric.network.txn is None
+        for cpu in machine.cpus:
+            assert cpu.txn is None
+        for component in (fabric.caches + fabric.controllers
+                          + fabric.directories):
+            assert component.txn is None
 
     def test_unobserved_run_emits_nothing(self):
         compiled, machine = build_machine()
@@ -72,9 +79,24 @@ class TestAttachDetach:
                           + fabric.directories):
             assert component.events is bus
 
+    def test_attach_wires_transaction_tracer(self):
+        _, machine = build_machine(coherent=True)
+        obs = Observation(txn=True)
+        obs.attach(machine)
+        tracer = obs.txn
+        assert tracer is not None
+        assert obs.hist is tracer.histograms
+        fabric = machine.fabric
+        assert fabric.network.txn is tracer
+        for cpu in machine.cpus:
+            assert cpu.txn is tracer
+        for component in (fabric.caches + fabric.controllers
+                          + fabric.directories):
+            assert component.txn is tracer
+
     def test_detach_restores_dormancy(self):
         _, machine = build_machine(coherent=True)
-        obs = Observation(profile=True)
+        obs = Observation(profile=True, txn=True)
         obs.attach(machine)
         obs.detach()
         assert machine.events is None
@@ -82,7 +104,19 @@ class TestAttachDetach:
         for cpu in machine.cpus:
             assert cpu.events is None
             assert cpu.profile_hook is None
+            assert cpu.txn is None
         assert machine.fabric.network.events is None
+        assert machine.fabric.network.txn is None
+        for component in (machine.fabric.caches + machine.fabric.controllers
+                          + machine.fabric.directories):
+            assert component.txn is None
+
+    def test_txn_disabled_by_default(self):
+        obs = Observation()
+        assert obs.txn is None
+        assert obs.hist is None
+        with pytest.raises(ValueError):
+            obs.write_txn("nowhere.json")
 
     def test_perfetto_requires_events(self):
         obs = Observation(events=False, window=0, profile=True)
@@ -117,3 +151,30 @@ class TestReport:
         assert "events" in data
         assert "timeline" not in data
         assert "profile" not in data
+        assert "transactions" not in data
+        assert "histograms" not in data
+
+    def test_report_includes_transaction_sections(self):
+        result, obs = observed_run(n=7, processors=2, coherent=True,
+                                   txn=True)
+        report = obs.report(result=result)
+        txn = report["transactions"]
+        assert txn["emitted"] > 0
+        assert txn["emitted"] == sum(txn["by_kind"].values())
+        assert set(txn["anomalies"]) >= {"switch_spin_storms",
+                                         "invalidation_hot_lines"}
+        hist = report["histograms"]
+        assert set(hist) == {"kinds", "hops", "nodes"}
+        assert sum(h["count"] for h in hist["kinds"].values()) \
+            == txn["emitted"]
+
+    def test_report_includes_sync_and_lazy_counters(self):
+        result, obs = observed_run(n=7, processors=2)
+        components = obs.report(result=result)["components"]
+        sync = components["sync"]
+        assert set(sync) == {"istructure_arrays", "istructure_slots",
+                             "locks", "barriers", "words_allocated"}
+        lazy = components["lazy"]
+        assert set(lazy) >= {"pushed", "stolen", "discards", "peak_depth",
+                             "live", "queues"}
+        assert len(lazy["queues"]) == 2

@@ -1,0 +1,176 @@
+"""Coherence-transaction tracer: spans, invariants, anomalies, export."""
+
+import json
+
+from repro.obs.txn import TransactionTracer
+
+from tests.obs.conftest import observed_run
+
+
+def traced_coherent(n=8, processors=4):
+    result, obs = observed_run(n=n, processors=processors, coherent=True,
+                               events=False, window=0, txn=True)
+    return result, obs.txn
+
+
+class TestTracedRun:
+    def test_remote_misses_are_traced(self):
+        result, txn = traced_coherent()
+        assert result.value == 21
+        remote = [r for r in txn.finished if r.remote]
+        assert remote, "coherent 4-node run produced no remote transaction"
+        assert txn.emitted == len(txn.finished)
+        assert txn.dropped == 0
+        assert not txn.open_records(), "transactions left open at exit"
+
+    def test_span_sum_equals_completion_latency(self):
+        """The acceptance invariant: request/service/coherence/response
+        phases tile the transaction exactly, so their durations sum to
+        the controller's computed completion latency."""
+        _, txn = traced_coherent()
+        checked = 0
+        for record in txn.finished:
+            if not record.phases:
+                continue
+            span = sum(end - start for _, start, end in record.phases)
+            assert span == record.latency, record
+            # And the phases are contiguous: each starts where the
+            # previous ended, from issue to ready.
+            cursor = record.issue
+            for _, start, end in record.phases:
+                assert start == cursor
+                cursor = end
+            assert cursor == record.ready
+            checked += 1
+        assert checked > 0
+
+    def test_transactions_attributed_to_threads(self):
+        _, txn = traced_coherent()
+        attributed = [r for r in txn.finished if r.thread is not None]
+        assert attributed
+        assert all(r.pc is not None for r in attributed)
+
+    def test_retries_link_traps_to_transactions(self):
+        _, txn = traced_coherent()
+        retried = [r for r in txn.finished if r.retries > 0]
+        assert retried, "no transaction trapped its processor"
+        for record in retried:
+            assert len(record.traps) == record.retries
+            for trap in record.traps:
+                assert trap["cycle"] >= record.issue
+        # The processor hook annotated at least some traps with the
+        # handler's chosen action (context switch or spin in place).
+        actions = [t.get("action") for r in retried for t in r.traps]
+        assert any(a is not None for a in actions)
+
+    def test_network_legs_and_hops(self):
+        _, txn = traced_coherent()
+        remote = [r for r in txn.finished if r.remote]
+        for record in remote:
+            net = [leg for leg in record.legs if leg["type"] == "net"]
+            assert net, "remote transaction with no network leg"
+            assert record.hops == net[0]["hops"] > 0
+
+    def test_histograms_follow_transactions(self):
+        _, txn = traced_coherent()
+        total = sum(h.count for h in txn.histograms.by_kind.values())
+        assert total == txn.emitted
+        assert sum(txn.by_kind.values()) == txn.emitted
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical_json(self):
+        _, txn_a = traced_coherent(n=7)
+        _, txn_b = traced_coherent(n=7)
+        text_a, text_b = txn_a.to_json(), txn_b.to_json()
+        assert len(text_a) > 1000
+        assert text_a == text_b
+
+    def test_write_round_trip(self, tmp_path):
+        _, txn = traced_coherent(n=6)
+        path = tmp_path / "txn.json"
+        assert txn.write(str(path)) == str(path)
+        payload = json.loads(path.read_text())
+        assert payload["emitted"] == txn.emitted
+        assert len(payload["transactions"]) == len(txn.finished)
+        tids = {t["thread"] for t in payload["transactions"]
+                if t["thread"] is not None}
+        # Dense renumbering by first appearance.
+        assert tids == set(range(len(tids)))
+
+
+class TestSyntheticProtocol:
+    """Unit-level checks against a hand-driven tracer."""
+
+    def _miss(self, txn, node=0, block=0x100, home=1, retries=0):
+        txn.begin(node, block, home, write=False, now=100)
+        txn.net_leg(node, home, 2, 3, 100, 105, 0)
+        txn.mark_phases(100, 105, 110, 110, 118)
+        txn.commit(118, local=False)
+        for i in range(retries):
+            txn.trap_retry(node, block, 100 + i)
+        txn.complete(node, block, 120)
+
+    def test_ring_overflow_counts_drops_exactly(self):
+        txn = TransactionTracer(capacity=5)
+        for i in range(8):
+            self._miss(txn, block=0x100 + 16 * i)
+        assert txn.emitted == 8
+        assert len(txn.finished) == 5
+        assert txn.dropped == 3
+        # Kind counts and histograms still saw every transaction.
+        assert txn.by_kind == {"remote_read": 8}
+        assert txn.histograms.by_kind["remote_read"].count == 8
+
+    def test_spin_storm_flagged(self):
+        txn = TransactionTracer()
+        self._miss(txn, retries=9)
+        self._miss(txn, block=0x200, retries=2)
+        report = txn.anomalies(spin_storm=8)
+        (storm,) = report["switch_spin_storms"]
+        assert storm["block"] == 0x100
+        assert storm["retraps"] == 9
+
+    def test_invalidation_hot_line_flagged(self):
+        txn = TransactionTracer()
+        for i in range(5):
+            txn.begin(i % 2, 0x300, 1, write=True, now=10 * i)
+            txn.inv_leg(1 - i % 2, 0x300, "S", 10 * i + 3)
+            txn.commit(10 * i + 8, local=False)
+            txn.complete(i % 2, 0x300, 10 * i + 9)
+        report = txn.anomalies(hot_line=4)
+        (hot,) = report["invalidation_hot_lines"]
+        assert hot["block"] == 0x300
+        assert hot["invalidations"] == 5
+
+    def test_full_empty_fault_to_sync(self):
+        txn = TransactionTracer()
+        txn.fe_fault(0, 0x400, "EMPTY_LOAD", 50)
+        txn.fe_fault(0, 0x400, "EMPTY_LOAD", 62)
+        txn.fe_sync(0, 0x400, 90)
+        (record,) = txn.finished
+        assert record.kind == "full_empty"
+        assert record.retries == 2
+        assert record.latency == 40
+        assert not record.write
+        assert txn.by_kind == {"full_empty": 1}
+
+    def test_open_records_until_completion(self):
+        txn = TransactionTracer()
+        txn.begin(0, 0x500, 1, write=False, now=5)
+        txn.commit(20, local=False)
+        assert [r.block for r in txn.open_records()] == [0x500]
+        assert txn.summary()["open"] == 1
+        txn.complete(0, 0x500, 25)
+        assert not txn.open_records()
+        (record,) = txn.finished
+        assert record.filled == 25
+
+    def test_writeback_finishes_immediately(self):
+        txn = TransactionTracer()
+        txn.begin(2, 0x600, 0, write=True, now=30, kind="writeback")
+        txn.commit(44, local=False, kind="writeback")
+        (record,) = txn.finished
+        assert record.kind == "writeback"
+        assert record.latency == 14
+        assert not txn.open_records()

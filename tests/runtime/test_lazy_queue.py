@@ -1,0 +1,53 @@
+"""LazyQueue unit behavior: steal discipline and counter snapshots."""
+
+from repro.runtime.lazy import LazyMarker, LazyQueue
+
+
+class FakeThread:
+    def __init__(self):
+        self.lazy_markers = []
+
+
+def push_marker(queue, thread, sp=0x1000):
+    marker = LazyMarker(thread, sp, resume_pc=0x2000, node=queue.node)
+    thread.lazy_markers.append(marker)
+    queue.push(marker)
+    return marker
+
+
+class TestCounters:
+    def test_initial_snapshot_is_zero(self):
+        queue = LazyQueue(0)
+        assert queue.counters() == {"pushes": 0, "steals": 0, "discards": 0,
+                                    "peak_depth": 0, "live": 0}
+
+    def test_push_steal_discard_accounting(self):
+        queue = LazyQueue(0)
+        thread = FakeThread()
+        first = push_marker(queue, thread)
+        second = push_marker(queue, thread, sp=0x1100)
+        assert queue.counters()["pushes"] == 2
+        assert queue.counters()["peak_depth"] == 2
+        assert len(queue) == 2
+
+        stolen = queue.steal()
+        assert stolen is first            # oldest-first
+        queue.discard(second)
+        counters = queue.counters()
+        assert counters["steals"] == 1
+        assert counters["discards"] == 1
+        assert counters["live"] == 0
+        # Peak depth is sticky: it remembers the high-water mark.
+        assert counters["peak_depth"] == 2
+
+    def test_steal_skips_dead_markers_without_counting(self):
+        queue = LazyQueue(0)
+        thread = FakeThread()
+        first = push_marker(queue, thread)
+        second = push_marker(queue, thread, sp=0x1100)
+        first.active = False              # invalidated in place
+        stolen = queue.steal()
+        assert stolen is second
+        assert queue.counters()["steals"] == 1
+        assert queue.steal() is None
+        assert queue.counters()["steals"] == 1

@@ -225,3 +225,28 @@ class TestBarrier:
         assert machine.memory.is_full(base)            # lock free
         assert not machine.memory.is_full(base + 12)   # sense empty
         assert fixnum_value(machine.memory.read_word(base + 4)) == 3
+
+
+class TestAllocatorCounters:
+    def test_counters_track_allocations(self):
+        machine = build("main:\n    set 0, a0\n    ret\n")
+        sync = SyncAllocator(machine)
+        assert machine.runtime.sync is sync   # registered for reports
+        assert sync.counters() == SyncAllocator.empty_counters()
+        sync.new_lock()
+        sync.new_lock()
+        sync.new_barrier(4)
+        sync.new_istructure_array(6)
+        counters = sync.counters()
+        assert counters["locks"] == 2
+        assert counters["barriers"] == 1
+        assert counters["istructure_arrays"] == 1
+        assert counters["istructure_slots"] == 6
+        # 2 lock words each, 4 barrier words, 6 slot words.
+        assert counters["words_allocated"] == 2 * 2 + 4 + 6
+
+    def test_empty_counters_shape_matches(self):
+        machine = build("main:\n    set 0, a0\n    ret\n")
+        sync = SyncAllocator(machine)
+        sync.new_lock()
+        assert set(sync.counters()) == set(SyncAllocator.empty_counters())
