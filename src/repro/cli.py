@@ -9,9 +9,21 @@ Subcommands::
     april report PROGRAM.mult [run options] [--histograms]
                               [--out report.json]
     april bench [--out BENCH_simulator.json] [--check baseline] [--quick]
+                [--jobs N]
     april asm PROGRAM.s          # assemble + list
-    april table3 [--programs fib factor]
+    april table3 [--programs fib,factor] [--systems APRIL,Apr-lazy]
+                 [--jobs N] [--no-cache] [--force]
+    april speedup [--programs fib] [--system Apr-lazy] [--cpus 1 2 4]
+                  [--jobs N] [--no-cache] [--force]
+    april sweep SPEC.json [--jobs N] [--no-cache] [--force] [--out FILE]
     april figure5
+
+The grid commands (``table3``, ``speedup``, ``sweep``) run through the
+:mod:`repro.exp` experiment engine: ``--jobs N`` fans cells out to N
+worker processes, finished cells land in the content-addressed cache
+under ``results/cache/`` (interrupted sweeps resume for free),
+``--no-cache`` bypasses it, and ``--force`` re-executes and refreshes
+cached cells.
 """
 
 import argparse
@@ -19,7 +31,7 @@ import json
 import sys
 
 from repro.harness.figure5 import render_report
-from repro.harness.table3 import render_table3, run_table3
+from repro.harness.table3 import SYSTEMS, render_table3, run_table3
 from repro.isa.assembler import assemble
 from repro.isa.disassembler import disassemble
 from repro.lang.run import run_mult
@@ -147,9 +159,35 @@ def _cmd_report(args):
     return _write_trace(obs, args) or _write_txn(obs, args)
 
 
+def _build_cache(args):
+    """The result cache the sweep flags ask for (None = bypass)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.exp.cache import default_cache
+    return default_cache()
+
+
+def _split_names(values):
+    """Flatten ``--programs fib,queens factor`` style lists."""
+    names = []
+    for value in values or ():
+        names.extend(part for part in value.split(",") if part)
+    return names
+
+
+def _print_sweep_trailer(summary, failures):
+    """Summary + failed cells on stderr (stdout stays byte-stable)."""
+    from repro.harness.reporting import sweep_summary_line
+    print(sweep_summary_line(summary), file=sys.stderr)
+    for outcome in failures:
+        print("failed: %s: %s: %s"
+              % (outcome.job.label, outcome.kind, outcome.message),
+              file=sys.stderr)
+
+
 def _cmd_bench(args):
     from repro.harness.bench import check_baseline, run_bench, write_bench
-    payload = run_bench(quick=args.quick)
+    payload = run_bench(quick=args.quick, pool_size=args.jobs)
     path = write_bench(payload, args.out)
     print("wrote benchmark results to %s" % path, file=sys.stderr)
     print("cycles/sec: %.0f   overhead: %.2fx   traced: %.2fx"
@@ -176,9 +214,67 @@ def _cmd_asm(args):
 
 
 def _cmd_table3(args):
-    rows = run_table3(program_names=args.programs or None)
-    print(render_table3(rows))
-    return 0
+    from repro import workloads
+    programs = _split_names(args.programs) or None
+    systems = tuple(_split_names(args.systems)) or SYSTEMS
+    for name in programs or ():
+        if name not in workloads.BY_NAME:
+            print("error: unknown program %r (have: %s)"
+                  % (name, ", ".join(workloads.BY_NAME)), file=sys.stderr)
+            return 2
+    for system in systems:
+        if system not in SYSTEMS:
+            print("error: unknown system %r (have: %s)"
+                  % (system, ", ".join(SYSTEMS)), file=sys.stderr)
+            return 2
+    result = run_table3(program_names=programs, systems=systems,
+                        pool_size=args.jobs, cache=_build_cache(args),
+                        force=args.force, timeout_s=args.timeout)
+    print(render_table3(result))
+    _print_sweep_trailer(result.sweep.timing_summary(), result.failures)
+    return 1 if result.failures else 0
+
+
+def _cmd_speedup(args):
+    from repro.harness.speedup import render_speedup, run_speedup
+    programs = _split_names(args.programs) or None
+    curves, sweep = run_speedup(program_names=programs, system=args.system,
+                                cpus=tuple(args.cpus), pool_size=args.jobs,
+                                cache=_build_cache(args), force=args.force,
+                                timeout_s=args.timeout)
+    print(render_speedup(curves))
+    _print_sweep_trailer(sweep.timing_summary(), sweep.failures)
+    return 1 if sweep.failures else 0
+
+
+def _cmd_sweep(args):
+    from repro.errors import SweepSpecError
+    from repro.exp.runner import run_jobs
+    from repro.exp.spec import (
+        expand_spec, load_spec, merged_output, render_output,
+    )
+    try:
+        spec = load_spec(args.spec)
+        jobs = expand_spec(spec)
+    except SweepSpecError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    sweep = run_jobs(jobs, pool_size=args.jobs, cache=_build_cache(args),
+                     force=args.force, timeout_s=args.timeout)
+    text = render_output(merged_output(spec, sweep))
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print("error: cannot write %s: %s" % (args.out, exc.strerror),
+                  file=sys.stderr)
+            return 1
+        print("wrote sweep results to %s" % args.out, file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    _print_sweep_trailer(sweep.timing_summary(), sweep.failures)
+    return 1 if sweep.failures else 0
 
 
 def _cmd_figure5(args):
@@ -206,6 +302,20 @@ def _add_machine_options(cmd):
                      help="utilization sampler window in cycles")
     cmd.add_argument("--top", type=int, default=20,
                      help="profile entries to show/emit")
+
+
+def _add_sweep_options(cmd):
+    cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for the cell grid (default 1 "
+                          "= run inline; results are byte-identical)")
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="bypass the content-addressed result cache")
+    cmd.add_argument("--force", action="store_true",
+                     help="re-execute cells even when cached (and refresh "
+                          "the cache)")
+    cmd.add_argument("--timeout", type=int, metavar="SECONDS",
+                     help="per-cell wall-clock limit (failed cell, "
+                          "bounded retry, sweep continues)")
 
 
 def build_parser():
@@ -246,6 +356,17 @@ def build_parser():
                                 "the committed benchmarks file)")
     bench_cmd.add_argument("--quick", action="store_true",
                            help="smaller workloads (for CI smoke / tests)")
+    bench_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="run the suite sections in N worker "
+                                "processes (each section still times "
+                                "itself in its own process)")
+    bench_cmd.add_argument("--no-cache", action="store_true",
+                           help="accepted for uniformity; bench results "
+                                "are never cached (they measure host "
+                                "wall time)")
+    bench_cmd.add_argument("--force", action="store_true",
+                           help="accepted for uniformity; bench always "
+                                "re-executes")
     bench_cmd.set_defaults(func=_cmd_bench)
 
     asm_cmd = sub.add_parser("asm", help="assemble and list APRIL assembly")
@@ -253,9 +374,35 @@ def build_parser():
     asm_cmd.set_defaults(func=_cmd_asm)
 
     t3 = sub.add_parser("table3", help="regenerate Table 3")
-    t3.add_argument("--programs", nargs="*",
-                    choices=("fib", "factor", "queens", "speech"))
+    t3.add_argument("--programs", nargs="*", metavar="NAME[,NAME]",
+                    help="only these programs (space- or comma-separated: "
+                         "fib, factor, queens, speech)")
+    t3.add_argument("--systems", nargs="*", metavar="SYS[,SYS]",
+                    help="only these system rows (Encore, APRIL, Apr-lazy) "
+                         "— with --programs, regenerates a single grid "
+                         "cell without running the full table")
+    _add_sweep_options(t3)
     t3.set_defaults(func=_cmd_table3)
+
+    sp = sub.add_parser(
+        "speedup", help="Section 7 speedup curves over the sequential "
+                        "baseline")
+    sp.add_argument("--programs", nargs="*", metavar="NAME[,NAME]",
+                    help="workloads to sweep (default: all four)")
+    sp.add_argument("--system", default="Apr-lazy",
+                    choices=("Encore", "APRIL", "Apr-lazy"))
+    sp.add_argument("--cpus", type=int, nargs="*", default=[1, 2, 4, 8, 16],
+                    help="processor counts to sweep")
+    _add_sweep_options(sp)
+    sp.set_defaults(func=_cmd_speedup)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a declarative experiment grid from a JSON spec")
+    sweep_cmd.add_argument("spec", help="sweep spec file (see repro.exp.spec)")
+    sweep_cmd.add_argument("--out", metavar="FILE",
+                           help="write merged results here instead of stdout")
+    _add_sweep_options(sweep_cmd)
+    sweep_cmd.set_defaults(func=_cmd_sweep)
 
     f5 = sub.add_parser("figure5", help="regenerate Table 4 + Figure 5")
     f5.set_defaults(func=_cmd_figure5)

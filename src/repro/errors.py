@@ -55,3 +55,47 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for inconsistent machine or model configuration."""
+
+
+class WorkloadCheckError(ReproError):
+    """A workload self-check failed: a run returned a different value
+    than the reference configuration for the same program.
+
+    Carries the full program/config context so a sweep can surface the
+    failure as a failed cell instead of dying on a bare assert.
+    """
+
+    def __init__(self, message, program=None, system=None, processors=None,
+                 config=None, expected=None, actual=None):
+        parts = [p for p in (
+            program,
+            system,
+            "%d cpus" % processors if processors is not None else None,
+        ) if p]
+        if parts:
+            message = "%s: %s" % ("/".join(str(p) for p in parts), message)
+        super().__init__(message)
+        self.program = program
+        self.system = system
+        self.processors = processors
+        self.config = config
+        self.expected = expected
+        self.actual = actual
+
+    @property
+    def context(self):
+        """JSON-ready context dict (what a failed sweep cell records)."""
+        data = {
+            "program": self.program,
+            "system": self.system,
+            "processors": self.processors,
+            "expected": repr(self.expected),
+            "actual": repr(self.actual),
+        }
+        if self.config is not None and hasattr(self.config, "to_dict"):
+            data["config"] = self.config.to_dict()
+        return data
+
+
+class SweepSpecError(ReproError):
+    """Raised when an ``april sweep`` spec file cannot be understood."""

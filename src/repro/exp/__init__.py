@@ -1,0 +1,41 @@
+"""``repro.exp`` — the parallel experiment engine.
+
+Every evaluation artifact of the paper (Table 3's program x system x
+CPU-count grid, the Section 7 speedup curves, Figure 5's sensitivity
+sweeps) is an embarrassingly parallel grid of independent simulator
+runs.  This package turns such a grid into:
+
+* a declarative :class:`~repro.exp.job.Job` spec with a canonical
+  content hash over the compiled program, every config knob, and an
+  engine schema version;
+* a process-pool :func:`~repro.exp.runner.run_jobs` runner (``--jobs
+  N``) with per-job timeout, bounded retry, and typed
+  :class:`~repro.exp.runner.JobFailed` results instead of sweep-killing
+  exceptions;
+* a content-addressed on-disk :class:`~repro.exp.cache.ResultCache`
+  (``results/cache/<hash>.json``) so re-running a sweep after an
+  interrupt or a one-config edit only executes the missing cells;
+* deterministic merged output (:mod:`repro.exp.spec`): cell ordering,
+  JSON layout, and normalization are byte-stable regardless of worker
+  completion order.
+"""
+
+from repro.exp.cache import ResultCache, default_cache
+from repro.exp.job import SCHEMA_VERSION, CallJob, Job
+from repro.exp.runner import JobFailed, JobResult, SweepResult, run_jobs
+from repro.exp.spec import expand_spec, load_spec, merged_output
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CallJob",
+    "Job",
+    "JobFailed",
+    "JobResult",
+    "ResultCache",
+    "SweepResult",
+    "default_cache",
+    "expand_spec",
+    "load_spec",
+    "merged_output",
+    "run_jobs",
+]

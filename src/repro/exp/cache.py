@@ -1,0 +1,68 @@
+"""Content-addressed on-disk result cache.
+
+One JSON file per job under ``<root>/<hash>.json`` where ``<hash>`` is
+:meth:`repro.exp.job.Job.content_hash`.  The cache is what makes sweeps
+resumable: an interrupted or edited sweep re-executes only the cells
+whose hashes have no file yet.  Writes are atomic (tmp file +
+``os.replace``) so a killed worker never leaves a truncated entry, and
+unreadable/corrupt entries degrade to cache misses.
+"""
+
+import json
+import os
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR``, else ``results/cache``."""
+    return os.environ.get("REPRO_CACHE_DIR",
+                          os.path.join("results", "cache"))
+
+
+def default_cache():
+    """A :class:`ResultCache` rooted at :func:`default_cache_dir`."""
+    return ResultCache(default_cache_dir())
+
+
+class ResultCache:
+    """Content-addressed store of finished job payloads."""
+
+    def __init__(self, root):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, content_hash):
+        """Where the payload for ``content_hash`` lives."""
+        return os.path.join(self.root, "%s.json" % content_hash)
+
+    def get(self, content_hash):
+        """The cached payload dict, or ``None`` on any kind of miss."""
+        try:
+            with open(self.path_for(content_hash)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, content_hash, payload):
+        """Atomically store ``payload``; returns its path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(content_hash)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def counters(self):
+        """JSON-ready hit/miss/write counts for the sweep summary."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}

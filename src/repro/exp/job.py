@@ -1,0 +1,185 @@
+"""Declarative sweep-job specs and their content hashes.
+
+A :class:`Job` is one cell of an experiment grid: a Mul-T program
+source plus the compilation mode, a :class:`~repro.machine.config.
+MachineConfig`, the ``main`` arguments, and a cycle budget.  Its
+:meth:`~Job.content_hash` is the cache key — it covers the *compiled*
+program words (so an edit to the compiler or the source invalidates
+cached results, while whitespace-only reformatting that assembles to
+the same words does not), every config knob, the run arguments, and
+:data:`SCHEMA_VERSION`.
+
+Jobs are picklable: the in-parent compiled program is dropped from the
+pickle and workers recompile from source (compilation is
+deterministic).
+"""
+
+import hashlib
+import json
+
+from repro.machine.config import MachineConfig
+
+#: Bump when the engine's result payload layout changes: every cached
+#: result keyed under an older schema becomes a clean cache miss.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(data):
+    """The byte-stable JSON encoding used for hashing and merged output."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(data):
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+class Job:
+    """One simulator run: program x config x args.
+
+    Args:
+        key: cell identity inside the sweep — a tuple of strings/ints,
+            e.g. ``("table3", "fib", "APRIL", "parallel", 4)``.  Keys
+            order the merged output; they are *not* part of the content
+            hash (the same run under two keys hits the same cache entry).
+        source: Mul-T program text.
+        mode: compilation mode (``sequential`` / ``eager`` / ``lazy``).
+        software_checks: compile Encore-style inline future checks.
+        optimize: run the branch-delay-slot postpass.
+        config: the :class:`MachineConfig` (default: one processor).
+        entry: top-level function to call.
+        args: fixnum arguments for ``entry``.
+        max_cycles: simulated-cycle budget before ``SimulationError``.
+        expect: optional expected result value; a mismatch raises
+            :class:`~repro.errors.WorkloadCheckError` in the worker and
+            becomes a failed cell, not a dead sweep.
+        cacheable: set ``False`` for runs whose outputs are not pure
+            functions of the inputs (e.g. wall-clock benchmarks).
+    """
+
+    kind = "mult"
+
+    def __init__(self, key, source, mode="eager", software_checks=False,
+                 optimize=False, config=None, entry="main", args=(),
+                 max_cycles=200_000_000, expect=None, cacheable=True):
+        self.key = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        self.source = source
+        self.mode = mode
+        self.software_checks = software_checks
+        self.optimize = optimize
+        self.config = config or MachineConfig()
+        self.entry = entry
+        self.args = tuple(args)
+        self.max_cycles = max_cycles
+        self.expect = expect
+        self.cacheable = cacheable
+        self._compiled = None
+        self._hash = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def label(self):
+        """Human-readable cell name (``/``-joined key)."""
+        return "/".join(str(part) for part in self.key)
+
+    def compiled(self):
+        """The in-parent compiled program (memoized; used for hashing)."""
+        if self._compiled is None:
+            from repro.lang.compiler import compile_source
+            self._compiled = compile_source(
+                self.source, mode=self.mode,
+                software_checks=self.software_checks,
+                optimize=self.optimize)
+        return self._compiled
+
+    def content_hash(self):
+        """The cache key: schema + compiled words + knobs + run params."""
+        if self._hash is None:
+            program = self.compiled().program
+            # Hash the entry's *address*, not its label: gensym counters
+            # make label names depend on what compiled earlier in this
+            # process, while the assembled words and addresses are
+            # deterministic.
+            entry_label = self.compiled().entry_label(self.entry)
+            self._hash = _digest({
+                "schema": SCHEMA_VERSION,
+                "kind": self.kind,
+                "program": {
+                    "base": program.base,
+                    "words": list(program.words),
+                    "entry": program.labels[entry_label],
+                },
+                "config": self.config.to_dict(),
+                "args": list(self.args),
+                "max_cycles": self.max_cycles,
+            })
+        return self._hash
+
+    def payload(self):
+        """The plain-dict worker input (see ``alewife.execute_payload``)."""
+        data = {
+            "kind": self.kind,
+            "source": self.source,
+            "mode": self.mode,
+            "software_checks": self.software_checks,
+            "optimize": self.optimize,
+            "config": self.config.to_dict(),
+            "entry": self.entry,
+            "args": list(self.args),
+            "max_cycles": self.max_cycles,
+            "capture": "report",
+        }
+        if self.expect is not None:
+            data["expect"] = self.expect
+        return data
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_compiled"] = None      # workers recompile from source
+        return state
+
+    def __repr__(self):
+        return "Job(%s)" % self.label
+
+
+class CallJob:
+    """A generic named-function job (used by ``april bench --jobs``).
+
+    Runs ``module.func(**kwargs)`` in a worker and returns its value.
+    Not cacheable by default: the canonical use is wall-clock
+    benchmarking, whose output is not a function of the inputs.
+    """
+
+    kind = "call"
+
+    def __init__(self, key, module, func, kwargs=None, cacheable=False):
+        self.key = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        self.module = module
+        self.func = func
+        self.kwargs = dict(kwargs or {})
+        self.cacheable = cacheable
+        self.expect = None
+
+    @property
+    def label(self):
+        return "/".join(str(part) for part in self.key)
+
+    def content_hash(self):
+        return _digest({
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "module": self.module,
+            "func": self.func,
+            "kwargs": self.kwargs,
+        })
+
+    def payload(self):
+        return {
+            "kind": self.kind,
+            "module": self.module,
+            "func": self.func,
+            "kwargs": self.kwargs,
+        }
+
+    def __repr__(self):
+        return "CallJob(%s)" % self.label

@@ -1,0 +1,145 @@
+"""Declarative sweep specs (``april sweep SPEC.json``) and the
+deterministic merged output.
+
+A spec file names a grid of Table-3-style cells::
+
+    {
+      "name": "smoke",
+      "grid": {
+        "programs": ["fib", "queens"],
+        "systems": ["APRIL", "Apr-lazy"],
+        "cpus": [1, 2, 4],
+        "args": {"fib": [8]}
+      },
+      "max_cycles": 500000000,
+      "config": {"num_task_frames": 4}
+    }
+
+``programs`` are workload names from :mod:`repro.workloads`;
+``systems`` are Table 3's rows (``Encore`` / ``APRIL`` / ``Apr-lazy``);
+``args`` optionally overrides a program's default workload size;
+``config`` optionally overrides :class:`~repro.machine.config.
+MachineConfig` knobs for every cell.  Each grid point becomes one
+:class:`~repro.exp.job.Job` running the program's *parallel* compile
+for that system at that processor count.
+
+The merged output is byte-stable: cells appear in grid-expansion order
+(never worker completion order), the JSON layout is canonical
+(``sort_keys``, fixed separators), and nothing host- or time-dependent
+(wall clock, cache hit flags) appears in the cell array.
+"""
+
+import json
+
+from repro.errors import SweepSpecError
+from repro.exp.job import canonical_json
+
+#: Merged-output schema tag.
+OUTPUT_SCHEMA = "april-sweep/1"
+
+
+def load_spec(path):
+    """Parse and validate a spec file; returns the spec dict."""
+    try:
+        with open(path) as handle:
+            spec = json.load(handle)
+    except OSError as exc:
+        raise SweepSpecError("cannot read spec %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise SweepSpecError("spec %s is not valid JSON: %s" % (path, exc))
+    validate_spec(spec)
+    return spec
+
+
+def validate_spec(spec):
+    """Raise :class:`SweepSpecError` unless ``spec`` is well-formed."""
+    from repro import workloads
+    from repro.harness.table3 import SYSTEMS
+
+    if not isinstance(spec, dict):
+        raise SweepSpecError("spec must be a JSON object")
+    grid = spec.get("grid")
+    if not isinstance(grid, dict):
+        raise SweepSpecError("spec needs a \"grid\" object")
+    programs = grid.get("programs")
+    if not programs or not isinstance(programs, list):
+        raise SweepSpecError("grid.programs must be a non-empty list")
+    for name in programs:
+        if name not in workloads.BY_NAME:
+            raise SweepSpecError(
+                "unknown program %r (have: %s)"
+                % (name, ", ".join(sorted(workloads.BY_NAME))))
+    systems = grid.get("systems", ["APRIL"])
+    for system in systems:
+        if system not in SYSTEMS:
+            raise SweepSpecError(
+                "unknown system %r (have: %s)" % (system, ", ".join(SYSTEMS)))
+    cpus = grid.get("cpus", [1])
+    if (not isinstance(cpus, list) or not cpus
+            or not all(isinstance(n, int) and n >= 1 for n in cpus)):
+        raise SweepSpecError("grid.cpus must be a list of positive ints")
+    args = grid.get("args", {})
+    if not isinstance(args, dict):
+        raise SweepSpecError("grid.args must map program name to arg list")
+    config = spec.get("config", {})
+    if not isinstance(config, dict):
+        raise SweepSpecError("config must be an object of knob overrides")
+
+
+def expand_spec(spec):
+    """The spec's grid as a list of jobs, in grid-expansion order
+    (programs outermost, then systems, then processor counts)."""
+    from repro import workloads
+    from repro.harness.table3 import cell_job
+
+    validate_spec(spec)
+    grid = spec["grid"]
+    systems = grid.get("systems", ["APRIL"])
+    cpus = grid.get("cpus", [1])
+    args_by_program = grid.get("args", {})
+    overrides = spec.get("config", {})
+    max_cycles = spec.get("max_cycles", 500_000_000)
+    name = spec.get("name", "sweep")
+
+    jobs = []
+    for program in grid["programs"]:
+        module = workloads.get(program)
+        args = args_by_program.get(program)
+        if args is not None:
+            args = tuple(args)
+        for system in systems:
+            for processors in cpus:
+                jobs.append(cell_job(
+                    module, system, "parallel", processors, args=args,
+                    max_cycles=max_cycles, config_overrides=overrides,
+                    key_prefix=(name,)))
+    return jobs
+
+
+def merged_output(spec, sweep):
+    """The deterministic merged result dict for a finished sweep."""
+    cells = []
+    for outcome in sweep:
+        cell = {"key": list(outcome.key), "hash": outcome.hash}
+        if outcome.ok:
+            cell["status"] = "ok"
+            cell["value"] = outcome.value
+            cell["cycles"] = outcome.cycles
+        else:
+            cell["status"] = "failed"
+            cell["kind"] = outcome.kind
+            cell["message"] = outcome.message
+            if outcome.context:
+                cell["context"] = outcome.context
+        cells.append(cell)
+    return {
+        "schema": OUTPUT_SCHEMA,
+        "name": spec.get("name", "sweep"),
+        "cells": cells,
+        "summary": sweep.summary(),
+    }
+
+
+def render_output(merged):
+    """The merged output as canonical, byte-stable JSON text."""
+    return canonical_json(merged) + "\n"

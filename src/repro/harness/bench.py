@@ -120,12 +120,44 @@ def _coherent_traced(quick):
     }
 
 
-def run_bench(quick=False):
-    """Run the whole suite; returns the JSON-ready payload."""
+#: Suite sections, in payload order, as (name, function name) — the
+#: grid ``run_bench`` submits through the experiment engine.
+SECTIONS = (
+    ("sequential", "_sequential_throughput"),
+    ("eager", "_eager_overhead"),
+    ("coherent", "_coherent_traced"),
+)
+
+
+def run_bench(quick=False, pool_size=1):
+    """Run the whole suite; returns the JSON-ready payload.
+
+    ``pool_size`` > 1 fans the three sections out to worker processes
+    through :mod:`repro.exp` (each section still times itself inside
+    its own process).  Bench results are never cached — they measure
+    host wall time, not a function of the inputs — so there is no
+    ``cache`` knob here; ``--no-cache``/``--force`` on the CLI are
+    accepted no-ops for interface uniformity with ``april table3``.
+    """
     start = time.perf_counter()
-    sequential = _sequential_throughput(quick)
-    eager = _eager_overhead(quick)
-    coherent = _coherent_traced(quick)
+    if pool_size > 1:
+        from repro.exp.job import CallJob
+        from repro.exp.runner import run_jobs
+        jobs = [CallJob(("bench", name), __name__, func,
+                        kwargs={"quick": quick})
+                for name, func in SECTIONS]
+        sweep = run_jobs(jobs, pool_size=pool_size)
+        for outcome in sweep.failures:
+            raise RuntimeError("bench section %s failed: %s: %s"
+                               % (outcome.job.label, outcome.kind,
+                                  outcome.message))
+        by_key = sweep.by_key()
+        sequential, eager, coherent = (
+            by_key[("bench", name)].value for name, _ in SECTIONS)
+    else:
+        sequential = _sequential_throughput(quick)
+        eager = _eager_overhead(quick)
+        coherent = _coherent_traced(quick)
     return {
         "schema": "april-bench/1",
         "suite": "simulator",

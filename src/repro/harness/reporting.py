@@ -23,3 +23,15 @@ def banner(title):
     """A section banner for bench stdout."""
     bar = "=" * max(len(title), 20)
     return "\n%s\n%s\n%s" % (bar, title, bar)
+
+
+def sweep_summary_line(summary):
+    """The sweep bookkeeping (cache-hit counter included) as one line
+    for stderr — what ``april table3``/``april sweep`` print so cache
+    behaviour is verifiable without parsing the table itself."""
+    parts = ["%s=%s" % (key, summary[key])
+             for key in ("jobs", "executed", "cache_hits", "deduped",
+                         "retries", "failed") if key in summary]
+    if "wall_time_s" in summary:
+        parts.append("wall=%.2fs" % summary["wall_time_s"])
+    return "sweep: " + " ".join(parts)

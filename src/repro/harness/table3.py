@@ -13,12 +13,21 @@ Methodology follows Section 7 exactly:
   management; the APRIL rows use hardware tags and the 11-cycle
   trap-based run-time system; the Apr-lazy rows compile futures with
   lazy task creation.
+
+Every cell is one independent simulator run, so the whole table is a
+job grid submitted through :mod:`repro.exp`: ``run_table3(pool_size=4,
+cache=...)`` fans the cells out to worker processes and re-runs after
+an interrupt or config edit only execute the missing cells.  The
+simulator is deterministic, so the rendered table is byte-identical at
+any pool size.
 """
 
 from repro.baselines.encore import encore_config
-from repro.lang.compiler import compile_source
-from repro.machine.alewife import AlewifeMachine
+from repro.errors import SimulationError, WorkloadCheckError
+from repro.exp.job import Job
+from repro.exp.runner import run_jobs
 from repro.machine.config import MachineConfig
+from repro import errors as _errors
 from repro import workloads
 
 #: Processor counts per system row, as in the paper's table.
@@ -26,6 +35,12 @@ ENCORE_CPUS = (1, 2, 4, 8)
 APRIL_CPUS = (1, 2, 4, 8, 16)
 
 SYSTEMS = ("Encore", "APRIL", "Apr-lazy")
+
+#: Per-row cell variants: the plain-sequential baseline ("T seq"), the
+#: checked-sequential run ("Mul-T seq"), and the parallel compiles.
+VARIANTS = ("seq_plain", "mult_seq", "parallel")
+
+DEFAULT_MAX_CYCLES = 500_000_000
 
 
 class Table3Row:
@@ -44,89 +59,235 @@ class Table3Row:
         return data
 
 
-def _run(compiled, config, args, max_cycles):
-    machine = AlewifeMachine(compiled.program, config)
-    result = machine.run(entry=compiled.entry_label("main"), args=args,
-                         max_cycles=max_cycles)
-    return result
+# -- job construction ------------------------------------------------------
 
 
-def _april_config(processors, lazy):
-    return MachineConfig(num_processors=processors, lazy_futures=lazy)
+def system_compile_options(system):
+    """``(parallel mode, software_checks)`` for a Table 3 system row."""
+    if system not in SYSTEMS:
+        raise ValueError("unknown system %r (have: %s)"
+                         % (system, ", ".join(SYSTEMS)))
+    mode = "lazy" if system == "Apr-lazy" else "eager"
+    return mode, system == "Encore"
+
+
+def system_config(system, processors, lazy=False, **overrides):
+    """The :class:`MachineConfig` a system row runs on."""
+    if system == "Encore":
+        return encore_config(processors, **overrides)
+    return MachineConfig(num_processors=processors, lazy_futures=lazy,
+                         **overrides)
+
+
+def cell_job(module, system, variant, processors, args=None,
+             max_cycles=DEFAULT_MAX_CYCLES, config_overrides=None,
+             key_prefix=("table3",)):
+    """One grid cell as a :class:`~repro.exp.job.Job`.
+
+    The key layout ``(*prefix, program, system, variant, processors)``
+    is what :func:`rows_from_sweep` parses back into rows.
+    """
+    if variant not in VARIANTS:
+        raise ValueError("unknown variant %r" % variant)
+    mode, checks = system_compile_options(system)
+    if variant == "seq_plain":
+        mode, checks = "sequential", False
+    elif variant == "mult_seq":
+        mode = "sequential"
+    overrides = dict(config_overrides or {})
+    config = system_config(system, processors, lazy=(mode == "lazy"),
+                           **overrides)
+    if args is None:
+        args = module.args()
+    key = tuple(key_prefix) + (module.NAME, system, variant, processors)
+    return Job(key, module.source(), mode=mode, software_checks=checks,
+               config=config, args=args, max_cycles=max_cycles)
+
+
+def row_jobs(module, system, cpus=None, args=None,
+             max_cycles=DEFAULT_MAX_CYCLES, config_overrides=None):
+    """Every cell of one (program, system) row, baselines first."""
+    if cpus is None:
+        cpus = ENCORE_CPUS if system == "Encore" else APRIL_CPUS
+    jobs = [
+        cell_job(module, system, "seq_plain", 1, args=args,
+                 max_cycles=max_cycles, config_overrides=config_overrides),
+        cell_job(module, system, "mult_seq", 1, args=args,
+                 max_cycles=max_cycles, config_overrides=config_overrides),
+    ]
+    for processors in cpus:
+        jobs.append(cell_job(module, system, "parallel", processors,
+                             args=args, max_cycles=max_cycles,
+                             config_overrides=config_overrides))
+    return jobs
+
+
+# -- sweep -> rows ---------------------------------------------------------
+
+
+def raise_outcome(outcome):
+    """Re-raise a failed cell as its original typed exception."""
+    exc_type = getattr(_errors, outcome.kind, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, _errors.ReproError):
+        raise exc_type(outcome.message)
+    raise SimulationError("%s: %s" % (outcome.kind, outcome.message))
+
+
+def rows_from_sweep(sweep, check_result=True):
+    """Assemble :class:`Table3Row` objects from a finished sweep.
+
+    Returns ``(rows, failures)`` where ``failures`` is a list of
+    :class:`~repro.exp.runner.JobFailed` — cells that crashed, timed
+    out, or (with ``check_result``) returned a value different from the
+    row's sequential baseline.  A failed cell leaves a blank in the
+    rendered table instead of killing the sweep.
+    """
+    by_row = {}
+    order = []
+    for outcome in sweep:
+        program, system, variant, processors = outcome.key[-4:]
+        row_key = (program, system)
+        if row_key not in by_row:
+            by_row[row_key] = {}
+            order.append(row_key)
+        by_row[row_key][(variant, processors)] = outcome
+
+    rows, failures = [], []
+    for program, system in order:
+        cells = by_row[(program, system)]
+        base = cells.get(("seq_plain", 1))
+        if base is None or not base.ok:
+            if base is not None:
+                failures.append(base)
+            continue
+        t_seq_cycles = base.cycles
+        expected = base.value
+
+        def checked(outcome, processors=None):
+            """The outcome, demoted to a failure on a bad self-check."""
+            if outcome is None or not outcome.ok:
+                if outcome is not None:
+                    failures.append(outcome)
+                return None
+            if check_result and outcome.value != expected:
+                error = WorkloadCheckError(
+                    "result %r != sequential baseline %r"
+                    % (outcome.value, expected),
+                    program=program, system=system, processors=processors,
+                    config=outcome.job.config, expected=expected,
+                    actual=outcome.value)
+                failures.append(_failed_check(outcome, error))
+                return None
+            return outcome
+
+        mult = checked(cells.get(("mult_seq", 1)), processors=1)
+        parallel = {}
+        for (variant, processors), outcome in sorted(
+                cells.items(), key=lambda item: (item[0][0], item[0][1])):
+            if variant != "parallel":
+                continue
+            ok = checked(outcome, processors=processors)
+            if ok is not None:
+                parallel[processors] = ok.cycles / t_seq_cycles
+        rows.append(Table3Row(
+            program, system,
+            t_seq=1.0,
+            mult_seq=(mult.cycles / t_seq_cycles if mult is not None
+                      else None),
+            parallel=parallel,
+        ))
+    return rows, failures
+
+
+def _failed_check(outcome, error):
+    from repro.exp.runner import JobFailed
+    return JobFailed(outcome.job, outcome.hash,
+                     kind="WorkloadCheckError", message=str(error),
+                     context=error.context, attempts=outcome.attempts)
+
+
+class Table3Result:
+    """Rows plus the sweep bookkeeping (iterable like the row list)."""
+
+    def __init__(self, rows, sweep, failures):
+        self.rows = rows
+        self.sweep = sweep
+        self.failures = failures
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def summary(self):
+        """Engine summary with check failures folded into ``failed``."""
+        data = self.sweep.summary()
+        data["failed"] = len(self.failures)
+        return data
+
+
+# -- public drivers --------------------------------------------------------
 
 
 def run_program_row(module, system, cpus=None, args=None,
-                    max_cycles=500_000_000, check_result=True):
-    """Compute one Table 3 row.
+                    max_cycles=DEFAULT_MAX_CYCLES, check_result=True):
+    """Compute one Table 3 row (serial, uncached).
 
     Args:
         module: a workload module from :mod:`repro.workloads`.
         system: "Encore", "APRIL", or "Apr-lazy".
         cpus: processor counts (defaults per system, as in the paper).
         args: workload arguments (defaults to the module's Table 3 size).
+
+    Raises the cell's typed error — :class:`~repro.errors.
+    WorkloadCheckError` on a self-check mismatch — instead of returning
+    a partial row.
     """
-    if args is None:
-        args = module.args()
-    checks = system == "Encore"
-    if cpus is None:
-        cpus = ENCORE_CPUS if system == "Encore" else APRIL_CPUS
-    mode = "lazy" if system == "Apr-lazy" else "eager"
-
-    source = module.source()
-    seq_plain = compile_source(source, mode="sequential",
-                               software_checks=False)
-    seq_checked = compile_source(source, mode="sequential",
-                                 software_checks=checks)
-    parallel = compile_source(source, mode=mode, software_checks=checks)
-
-    def config_for(processors):
-        if system == "Encore":
-            return encore_config(processors)
-        return _april_config(processors, lazy=(mode == "lazy"))
-
-    base = _run(seq_plain, config_for(1), args, max_cycles)
-    t_seq_cycles = base.cycles
-    expected = base.value
-
-    mult_seq = _run(seq_checked, config_for(1), args, max_cycles)
-    if check_result and mult_seq.value != expected:
-        raise AssertionError(
-            "%s/%s Mul-T seq result %r != %r"
-            % (module.NAME, system, mult_seq.value, expected))
-
-    parallel_times = {}
-    for processors in cpus:
-        result = _run(parallel, config_for(processors), args, max_cycles)
-        if check_result and result.value != expected:
-            raise AssertionError(
-                "%s/%s on %d cpus: %r != %r"
-                % (module.NAME, system, processors, result.value, expected))
-        parallel_times[processors] = result.cycles / t_seq_cycles
-
-    return Table3Row(
-        module.NAME, system,
-        t_seq=1.0,
-        mult_seq=mult_seq.cycles / t_seq_cycles,
-        parallel=parallel_times,
-    )
+    jobs = row_jobs(module, system, cpus=cpus, args=args,
+                    max_cycles=max_cycles)
+    sweep = run_jobs(jobs)
+    rows, failures = rows_from_sweep(sweep, check_result=check_result)
+    if failures:
+        first = failures[0]
+        if first.kind == "WorkloadCheckError":
+            context = first.context or {}
+            error = WorkloadCheckError(first.message)
+            error.program = context.get("program")
+            error.system = context.get("system")
+            error.processors = context.get("processors")
+            raise error
+        raise_outcome(first)
+    return rows[0]
 
 
 def run_table3(program_names=None, systems=SYSTEMS, args_by_program=None,
-               cpus_by_system=None):
-    """Compute the full table; returns ``[Table3Row]`` in paper order."""
-    rows = []
+               cpus_by_system=None, pool_size=1, cache=None, force=False,
+               timeout_s=None, check_result=True):
+    """Compute the full table; returns a :class:`Table3Result` whose
+    rows iterate in paper order.
+
+    ``pool_size``/``cache``/``force``/``timeout_s`` go straight to
+    :func:`repro.exp.runner.run_jobs`: with a cache, an interrupted or
+    partially edited table resumes from the cells already on disk.
+    """
+    jobs = []
     names = program_names or [m.NAME for m in workloads.ALL]
     for name in names:
         module = workloads.get(name)
         args = (args_by_program or {}).get(name)
         for system in systems:
             cpus = (cpus_by_system or {}).get(system)
-            rows.append(run_program_row(module, system, cpus=cpus, args=args))
-    return rows
+            jobs.extend(row_jobs(module, system, cpus=cpus, args=args))
+    sweep = run_jobs(jobs, pool_size=pool_size, cache=cache, force=force,
+                     timeout_s=timeout_s)
+    rows, failures = rows_from_sweep(sweep, check_result=check_result)
+    return Table3Result(rows, sweep, failures)
 
 
 def render_table3(rows):
-    """Format rows like the paper's Table 3."""
+    """Format rows like the paper's Table 3 (blank = failed cell)."""
+    rows = list(rows)
     all_cpus = sorted({n for row in rows for n in row.parallel})
     header = ("%-8s %-9s %6s %9s " % ("Program", "System", "T seq", "Mul-T seq")
               + " ".join("%6d" % n for n in all_cpus))
@@ -136,6 +297,8 @@ def render_table3(rows):
         for n in all_cpus:
             value = row.parallel.get(n)
             cells.append("%6.2f" % value if value is not None else "      ")
-        lines.append("%-8s %-9s %6.2f %9.2f %s" % (
-            row.program, row.system, row.t_seq, row.mult_seq, " ".join(cells)))
+        mult_seq = ("%9.2f" % row.mult_seq if row.mult_seq is not None
+                    else " " * 9)
+        lines.append("%-8s %-9s %6.2f %s %s" % (
+            row.program, row.system, row.t_seq, mult_seq, " ".join(cells)))
     return "\n".join(lines)

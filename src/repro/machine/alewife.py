@@ -142,3 +142,75 @@ def run_program(program, config=None, entry="main", args=(),
     """Build a machine, run a program, return the :class:`MachineResult`."""
     machine = AlewifeMachine(program, config)
     return machine.run(entry=entry, args=args, max_cycles=max_cycles)
+
+
+def execute_payload(payload):
+    """Run one sweep-job payload; the picklable worker entry point.
+
+    Everything in and out is plain picklable/JSON-ready data, so
+    :mod:`repro.exp` can ship this call to a ``ProcessPoolExecutor``
+    worker and cache the return value verbatim on disk.  The payload is
+    what :meth:`repro.exp.job.Job.payload` produces::
+
+        {"source": ..., "mode": ..., "software_checks": ...,
+         "optimize": ..., "config": MachineConfig.to_dict(),
+         "entry": ..., "args": [...], "max_cycles": ...,
+         "capture": "report" | "stats", "expect": optional}
+
+    The worker recompiles from source (compilation is deterministic;
+    the parent already hashed the compiled words for the cache key),
+    attaches the per-job observation from
+    :func:`repro.obs.session.for_job`, and returns the result value,
+    cycle count, stats, and — under ``capture="report"`` — the full
+    ``machine_report`` plus the coherence-latency histogram summary.
+
+    Raises :class:`~repro.errors.WorkloadCheckError` when ``expect`` is
+    given and the run returns a different value.
+    """
+    from repro.errors import WorkloadCheckError
+    from repro.lang.compiler import compile_source
+    from repro.obs.report import machine_report
+    from repro.obs.session import for_job
+
+    compiled = compile_source(
+        payload["source"],
+        mode=payload.get("mode", "eager"),
+        software_checks=payload.get("software_checks", False),
+        optimize=payload.get("optimize", False))
+    config = MachineConfig(**payload["config"])
+    if config.lazy_futures != compiled.wants_lazy_scheduling:
+        config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
+
+    observation = for_job(config)
+    machine = AlewifeMachine(compiled.program, config)
+    if observation is not None:
+        observation.attach(machine)
+    result = machine.run(
+        entry=compiled.entry_label(payload.get("entry", "main")),
+        args=tuple(payload.get("args", ())),
+        max_cycles=payload.get("max_cycles", 200_000_000))
+
+    expect = payload.get("expect")
+    if expect is not None and result.value != expect:
+        raise WorkloadCheckError(
+            "result %r != expected %r" % (result.value, expect),
+            config=config, expected=expect, actual=result.value)
+
+    out = {
+        "status": "ok",
+        "value": result.value,
+        "cycles": result.cycles,
+        "output": result.output,
+        "stats": result.stats.to_dict(),
+    }
+    if payload.get("capture", "report") == "report":
+        out["report"] = machine_report(machine, result=result,
+                                       observation=observation)
+        if observation is not None and observation.hist is not None:
+            out["histograms"] = {
+                kind: {"count": h.count, "p50": h.percentile(50),
+                       "p90": h.percentile(90), "p99": h.percentile(99)}
+                for kind, h in
+                sorted(observation.hist.by_kind.items())
+            }
+    return out

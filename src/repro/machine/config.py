@@ -127,9 +127,25 @@ class MachineConfig:
         if self.stack_words * 4 > self.kernel_heap_words:
             raise ConfigError("stack_words larger than the kernel heap")
 
-    def replace(self, **overrides):
-        """A copy of this config with some fields overridden."""
-        fields = dict(
+    def to_dict(self):
+        """Canonical constructor-equivalent knob dict.
+
+        ``MachineConfig(**config.to_dict())`` rebuilds an equivalent
+        config; the dict is JSON-ready and is what sweep-job content
+        hashes and spec files use (see :mod:`repro.exp`).
+        """
+        return self._fields()
+
+    def fingerprint(self):
+        """Stable hex digest of every knob (part of sweep cache keys)."""
+        import hashlib
+        import json
+        text = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _fields(self):
+        return dict(
             num_processors=self.num_processors,
             num_task_frames=self.num_task_frames,
             memory_words=self.memory_words,
@@ -165,5 +181,9 @@ class MachineConfig:
             network_dim=self.network_dim,
             network_hop_cycles=self.network_hop_cycles,
         )
+
+    def replace(self, **overrides):
+        """A copy of this config with some fields overridden."""
+        fields = self._fields()
         fields.update(overrides)
         return MachineConfig(**fields)

@@ -152,3 +152,18 @@ class Observation:
             data["transactions"] = self.txn.summary()
             data["histograms"] = self.txn.histograms.to_dict()
         return data
+
+
+def for_job(config):
+    """The :class:`Observation` a sweep worker attaches for one job.
+
+    Workers (see :mod:`repro.exp.runner`) capture each job's machine
+    report; on a coherent-mode config they additionally trace
+    transactions so the cached result carries the latency-histogram
+    summary.  Ideal-mode runs return ``None`` — the plain
+    ``machine_report`` already covers everything observable there, and
+    skipping the Observation keeps every dormant fast path.
+    """
+    if getattr(config, "memory_mode", "ideal") != "coherent":
+        return None
+    return Observation(events=False, window=0, profile=False, txn=True)

@@ -1,0 +1,61 @@
+"""The content-addressed on-disk result cache."""
+
+import json
+import os
+
+from repro.exp.cache import ResultCache, default_cache, default_cache_dir
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        payload = {"status": "ok", "value": 13, "cycles": 1234}
+        path = cache.put("abc123", payload)
+        assert os.path.exists(path)
+        assert cache.get("abc123") == payload
+        assert cache.counters() == {"hits": 1, "misses": 0, "writes": 1}
+
+    def test_missing_entry_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("nope") is None
+        assert cache.counters()["misses"] == 1
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with open(cache.path_for("bad"), "w") as handle:
+            handle.write("{truncated")
+        assert cache.get("bad") is None
+
+    def test_non_dict_entry_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with open(cache.path_for("list"), "w") as handle:
+            json.dump([1, 2], handle)
+        assert cache.get("list") is None
+
+    def test_put_creates_root(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "deep" / "cache"))
+        cache.put("k", {"status": "ok"})
+        assert cache.get("k") == {"status": "ok"}
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", {"status": "ok"})
+        assert [name for name in os.listdir(str(tmp_path))
+                if ".tmp" in name] == []
+
+    def test_overwrite(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", {"status": "ok", "value": 1})
+        cache.put("k", {"status": "ok", "value": 2})
+        assert cache.get("k")["value"] == 2
+
+
+class TestDefaults:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mine"))
+        assert default_cache_dir() == str(tmp_path / "mine")
+        assert default_cache().root == str(tmp_path / "mine")
+
+    def test_default_location(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() == os.path.join("results", "cache")

@@ -1,0 +1,119 @@
+"""Job specs: content hashing, payloads, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.exp.job import SCHEMA_VERSION, CallJob, Job, canonical_json
+from repro.machine.config import MachineConfig
+from repro import workloads
+
+FIB = workloads.get("fib").source()
+
+
+def fib_job(**overrides):
+    kwargs = dict(key=("t", "fib"), source=FIB, mode="eager",
+                  config=MachineConfig(num_processors=2), args=(7,))
+    kwargs.update(overrides)
+    return Job(**kwargs)
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        assert fib_job().content_hash() == fib_job().content_hash()
+
+    def test_stable_across_compile_order(self):
+        # Gensym label names depend on how many programs compiled
+        # earlier in the process; the hash must not.
+        first = fib_job().content_hash()
+        Job(("other",), workloads.get("queens").source()).content_hash()
+        assert fib_job().content_hash() == first
+
+    def test_key_not_part_of_hash(self):
+        assert (fib_job(key=("a",)).content_hash()
+                == fib_job(key=("b",)).content_hash())
+
+    def test_config_knob_changes_hash(self):
+        base = fib_job()
+        other = fib_job(config=MachineConfig(num_processors=4))
+        assert base.content_hash() != other.content_hash()
+        knob = fib_job(config=MachineConfig(num_processors=2,
+                                            touch_spin_limit=0))
+        assert base.content_hash() != knob.content_hash()
+
+    def test_args_and_budget_change_hash(self):
+        base = fib_job()
+        assert base.content_hash() != fib_job(args=(8,)).content_hash()
+        assert (base.content_hash()
+                != fib_job(max_cycles=1000).content_hash())
+
+    def test_mode_changes_hash_via_compiled_words(self):
+        assert (fib_job(mode="eager").content_hash()
+                != fib_job(mode="sequential").content_hash())
+
+    def test_schema_version_in_hash(self, monkeypatch):
+        base = fib_job().content_hash()
+        monkeypatch.setattr("repro.exp.job.SCHEMA_VERSION",
+                            SCHEMA_VERSION + 1)
+        assert fib_job().content_hash() != base
+
+    def test_source_reformat_same_words_same_hash(self):
+        # Same program, different whitespace: assembles to identical
+        # words, so cached results remain valid.
+        reformatted = FIB.replace("\n", "\n ")
+        assert (fib_job().content_hash()
+                == fib_job(source=reformatted).content_hash())
+
+
+class TestPayloadAndPickle:
+    def test_payload_is_plain_data(self):
+        payload = fib_job(expect=13).payload()
+        canonical_json(payload)          # JSON-serializable
+        assert payload["kind"] == "mult"
+        assert payload["args"] == [7]
+        assert payload["expect"] == 13
+        assert payload["config"]["num_processors"] == 2
+
+    def test_pickle_drops_compiled_program(self):
+        job = fib_job()
+        job.compiled()
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone._compiled is None
+        assert clone.content_hash() == job.content_hash()
+
+    def test_label(self):
+        assert fib_job(key=("table3", "fib", 4)).label == "table3/fib/4"
+
+    def test_scalar_key_wrapped(self):
+        assert fib_job(key="solo").key == ("solo",)
+
+
+class TestCallJob:
+    def test_hash_covers_target(self):
+        a = CallJob(("b",), "mod", "f", kwargs={"quick": True})
+        b = CallJob(("b",), "mod", "f", kwargs={"quick": False})
+        c = CallJob(("b",), "mod", "g", kwargs={"quick": True})
+        assert len({a.content_hash(), b.content_hash(),
+                    c.content_hash()}) == 3
+
+    def test_not_cacheable_by_default(self):
+        assert CallJob(("b",), "mod", "f").cacheable is False
+        assert fib_job().cacheable is True
+
+    def test_payload(self):
+        payload = CallJob(("b",), "mod", "f", kwargs={"x": 1}).payload()
+        assert payload == {"kind": "call", "module": "mod", "func": "f",
+                           "kwargs": {"x": 1}}
+
+
+def test_mult_and_call_hashes_distinct():
+    # Different kinds can never collide on the schema field layout.
+    assert fib_job().content_hash() != CallJob(
+        ("t", "fib"), "mod", "f").content_hash()
+
+
+def test_canonical_json_is_byte_stable():
+    assert (canonical_json({"b": 1, "a": [1, 2]})
+            == '{"a":[1,2],"b":1}')
+    with pytest.raises(TypeError):
+        canonical_json({"bad": object()})

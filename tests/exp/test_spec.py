@@ -1,0 +1,130 @@
+"""Sweep specs and the deterministic merged output."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepSpecError
+from repro.exp.runner import run_jobs
+from repro.exp.spec import (
+    expand_spec, load_spec, merged_output, render_output, validate_spec,
+)
+
+
+def smoke_spec():
+    return {
+        "name": "smoke",
+        "grid": {
+            "programs": ["fib"],
+            "systems": ["APRIL", "Apr-lazy"],
+            "cpus": [1, 2],
+            "args": {"fib": [7]},
+        },
+    }
+
+
+class TestValidation:
+    def test_good_spec_passes(self):
+        validate_spec(smoke_spec())
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda s: s.pop("grid"), "grid"),
+        (lambda s: s["grid"].update(programs=[]), "programs"),
+        (lambda s: s["grid"].update(programs=["nope"]), "unknown program"),
+        (lambda s: s["grid"].update(systems=["VAX"]), "unknown system"),
+        (lambda s: s["grid"].update(cpus=[0]), "cpus"),
+        (lambda s: s["grid"].update(cpus="4"), "cpus"),
+        (lambda s: s["grid"].update(args=[1]), "args"),
+        (lambda s: s.update(config=[1]), "config"),
+    ])
+    def test_bad_specs_raise(self, mutate, fragment):
+        spec = smoke_spec()
+        mutate(spec)
+        with pytest.raises(SweepSpecError, match=fragment):
+            validate_spec(spec)
+
+    def test_load_spec_bad_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(SweepSpecError, match="valid JSON"):
+            load_spec(str(path))
+
+    def test_load_spec_missing_file(self, tmp_path):
+        with pytest.raises(SweepSpecError, match="cannot read"):
+            load_spec(str(tmp_path / "absent.json"))
+
+    def test_load_spec_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(smoke_spec()))
+        assert load_spec(str(path))["name"] == "smoke"
+
+
+class TestExpansion:
+    def test_grid_expansion_order(self):
+        jobs = expand_spec(smoke_spec())
+        assert [job.key for job in jobs] == [
+            ("smoke", "fib", "APRIL", "parallel", 1),
+            ("smoke", "fib", "APRIL", "parallel", 2),
+            ("smoke", "fib", "Apr-lazy", "parallel", 1),
+            ("smoke", "fib", "Apr-lazy", "parallel", 2),
+        ]
+        assert jobs[0].args == (7,)
+        assert jobs[1].config.num_processors == 2
+        assert jobs[2].mode == "lazy"
+
+    def test_config_overrides_reach_cells(self):
+        spec = smoke_spec()
+        spec["config"] = {"touch_spin_limit": 0}
+        jobs = expand_spec(spec)
+        assert all(job.config.touch_spin_limit == 0 for job in jobs)
+
+    def test_max_cycles(self):
+        spec = smoke_spec()
+        spec["max_cycles"] = 1234
+        assert expand_spec(spec)[0].max_cycles == 1234
+
+
+class TestMergedOutput:
+    def test_byte_stable_across_pool_sizes(self):
+        spec = smoke_spec()
+        serial = render_output(merged_output(spec, run_jobs(
+            expand_spec(spec))))
+        pooled = render_output(merged_output(spec, run_jobs(
+            expand_spec(spec), pool_size=2)))
+        # Dedupe counts differ by schedule but cells must not; compare
+        # the cell arrays byte-for-byte.
+        assert (json.loads(serial)["cells"] == json.loads(pooled)["cells"])
+
+    def test_layout(self):
+        spec = smoke_spec()
+        spec["grid"]["cpus"] = [1]
+        spec["grid"]["systems"] = ["APRIL"]
+        merged = merged_output(spec, run_jobs(expand_spec(spec)))
+        assert merged["schema"] == "april-sweep/1"
+        (cell,) = merged["cells"]
+        assert cell["status"] == "ok"
+        assert cell["value"] == 13
+        assert cell["cycles"] > 0
+        assert len(cell["hash"]) == 64
+        assert merged["summary"]["executed"] == 1
+
+    def test_failed_cell_recorded_not_raised(self):
+        spec = smoke_spec()
+        spec["grid"]["cpus"] = [1]
+        spec["grid"]["systems"] = ["APRIL"]
+        spec["max_cycles"] = 50                     # guaranteed blowout
+        merged = merged_output(spec, run_jobs(expand_spec(spec)))
+        (cell,) = merged["cells"]
+        assert cell["status"] == "failed"
+        assert cell["kind"] == "SimulationError"
+        assert merged["summary"]["failed"] == 1
+
+    def test_render_output_canonical(self):
+        spec = smoke_spec()
+        spec["grid"]["cpus"] = [1]
+        spec["grid"]["systems"] = ["APRIL"]
+        sweep = run_jobs(expand_spec(spec))
+        text = render_output(merged_output(spec, sweep))
+        assert text.endswith("\n")
+        assert text == render_output(merged_output(spec, sweep))
+        assert json.loads(text)["name"] == "smoke"

@@ -1,16 +1,21 @@
 """Harness tests: Table 3 rows on tiny instances, Figure 5 report,
-reporting helpers, and the CLI."""
+reporting helpers, the sweep-engine wiring, and the CLI."""
 
+import json
 import os
 
 import pytest
 
+from repro.errors import WorkloadCheckError
 from repro.harness import reporting
 from repro.harness.figure5 import headline_numbers, render_report
 from repro.harness.table3 import (
-    Table3Row, render_table3, run_program_row,
+    Table3Row, render_table3, row_jobs, rows_from_sweep, run_program_row,
+    run_table3,
 )
 from repro import workloads
+
+TINY = dict(cpus_by_system={"APRIL": (1, 2)}, args_by_program={"fib": (7,)})
 
 
 class TestTable3Harness:
@@ -51,6 +56,125 @@ class TestTable3Harness:
         assert data["T seq"] == 1.0 and data["1"] == 13.0
 
 
+class _FakeOutcome:
+    """Just enough of a JobResult/JobFailed for rows_from_sweep."""
+
+    def __init__(self, key, value=None, cycles=None, ok=True, kind="crash",
+                 message="boom"):
+        from repro.machine.config import MachineConfig
+
+        class _J:
+            config = MachineConfig()
+            label = "/".join(str(part) for part in key)
+        _J.key = key
+        self.key = key
+        self.value = value
+        self.cycles = cycles
+        self.ok = ok
+        self.kind = kind
+        self.message = message
+        self.context = {}
+        self.job = _J()
+        self.hash = "0" * 64
+        self.attempts = 1
+
+
+class TestTable3Engine:
+    def test_run_table3_through_engine(self):
+        result = run_table3(program_names=["fib"], systems=("APRIL",),
+                            **TINY)
+        (row,) = result.rows
+        assert row.parallel[2] < row.parallel[1]
+        summary = result.summary()
+        assert summary["jobs"] == 4 and summary["failed"] == 0
+        # seq_plain and mult_seq are the same run on APRIL: deduped.
+        assert summary["deduped"] == 1
+
+    def test_pool_matches_serial(self):
+        serial = render_table3(run_table3(
+            program_names=["fib"], systems=("APRIL",), **TINY))
+        pooled = render_table3(run_table3(
+            program_names=["fib"], systems=("APRIL",), pool_size=2, **TINY))
+        assert serial == pooled
+
+    def test_cache_resume(self, tmp_path):
+        from repro.exp.cache import ResultCache
+        cache = ResultCache(str(tmp_path))
+        first = run_table3(program_names=["fib"], systems=("APRIL",),
+                           cache=cache, **TINY)
+        second = run_table3(program_names=["fib"], systems=("APRIL",),
+                            cache=cache, **TINY)
+        assert second.summary()["executed"] == 0
+        assert second.summary()["cache_hits"] == second.summary()["jobs"]
+        assert render_table3(first) == render_table3(second)
+
+    def test_check_failure_becomes_failed_cell(self):
+        outcomes = [
+            _FakeOutcome(("table3", "fib", "APRIL", "seq_plain", 1),
+                         value=13, cycles=100),
+            _FakeOutcome(("table3", "fib", "APRIL", "mult_seq", 1),
+                         value=13, cycles=100),
+            _FakeOutcome(("table3", "fib", "APRIL", "parallel", 2),
+                         value=999, cycles=50),
+        ]
+        rows, failures = rows_from_sweep(outcomes)
+        (row,) = rows
+        assert row.parallel == {}            # bad cell left blank
+        (failure,) = failures
+        assert failure.kind == "WorkloadCheckError"
+        assert failure.context["actual"] == "999"
+        assert "fib" in failure.message
+
+    def test_crashed_cell_leaves_blank(self):
+        outcomes = [
+            _FakeOutcome(("table3", "fib", "APRIL", "seq_plain", 1),
+                         value=13, cycles=100),
+            _FakeOutcome(("table3", "fib", "APRIL", "mult_seq", 1),
+                         value=13, cycles=110),
+            _FakeOutcome(("table3", "fib", "APRIL", "parallel", 1),
+                         value=13, cycles=500),
+            _FakeOutcome(("table3", "fib", "APRIL", "parallel", 2),
+                         ok=False, kind="timeout", message="too slow"),
+        ]
+        rows, failures = rows_from_sweep(outcomes)
+        (row,) = rows
+        assert row.parallel == {1: 5.0}
+        assert failures[0].kind == "timeout"
+        text = render_table3(rows)
+        assert "5.00" in text
+
+    def test_row_jobs_layout(self):
+        jobs = row_jobs(workloads.get("fib"), "Encore")
+        variants = [job.key[-2] for job in jobs]
+        assert variants == ["seq_plain", "mult_seq"] + ["parallel"] * 4
+        assert all(job.key[-3] == "Encore" for job in jobs)
+        # Encore rows compile software checks into the checked variants.
+        assert jobs[0].software_checks is False
+        assert jobs[1].software_checks is True
+
+    def test_program_row_raises_typed_check_error(self, monkeypatch):
+        # Force a value mismatch by lying about the expected result:
+        # patch rows_from_sweep's comparison via a fake outcome set is
+        # covered above; here exercise the run_program_row path end to
+        # end with a job whose expect is wrong.
+        from repro.exp import runner as runner_mod
+        real = runner_mod.run_jobs
+
+        def tampered(jobs, **kwargs):
+            sweep = real(jobs, **kwargs)
+            for outcome in sweep.outcomes:
+                if outcome.ok and outcome.key[-2] == "parallel":
+                    outcome.payload = dict(outcome.payload, value=999)
+            return sweep
+        monkeypatch.setattr("repro.harness.table3.run_jobs", tampered)
+        with pytest.raises(WorkloadCheckError) as excinfo:
+            run_program_row(workloads.get("fib"), "APRIL", cpus=(1,),
+                            args=(7,))
+        assert excinfo.value.program == "fib"
+        assert excinfo.value.system == "APRIL"
+        assert "999" in str(excinfo.value)
+
+
 class TestFigure5Harness:
     def test_report_sections(self):
         text = render_report(max_threads=4)
@@ -63,6 +187,26 @@ class TestFigure5Harness:
         assert numbers["base_round_trip"] == 55
         assert 0.75 < numbers["U(3)"] < 0.85
         assert numbers["plateau_at"] <= 4
+
+    def test_headline_numbers_golden(self):
+        """Pin the Section 8 claims to exact model output.
+
+        The paper's prose: single-threaded utilization is poor at a
+        55-cycle round trip, "close to 80%" utilization with three
+        resident threads, and the curve plateaus there (network
+        bandwidth caps further gains).  A drift in any model term
+        moves these values and must be a deliberate change.
+        """
+        numbers = headline_numbers()
+        assert numbers["base_round_trip"] == 55
+        assert numbers["U(1)"] == pytest.approx(0.4296365058727859,
+                                                rel=1e-9)
+        assert numbers["U(3)"] == pytest.approx(0.8086551370133459,
+                                                rel=1e-9)
+        assert numbers["U(8)"] == pytest.approx(0.7529134958273591,
+                                                rel=1e-9)
+        assert numbers["U_max"] == numbers["U(3)"]    # the plateau peak
+        assert numbers["plateau_at"] == 3
 
 
 class TestReporting:
@@ -115,3 +259,91 @@ class TestCLI:
         from repro.cli import main
         assert main(["figure5"]) == 0
         assert "Table 4" in capsys.readouterr().out
+
+
+class TestSpeedupHarness:
+    def test_curve_matches_table3_cells(self):
+        from repro.harness.speedup import render_speedup, run_speedup
+        curves, sweep = run_speedup(program_names=["fib"],
+                                    system="Apr-lazy", cpus=(1, 2),
+                                    args_by_program={"fib": (7,)})
+        (curve,) = curves
+        assert curve.seq_cycles > 0
+        assert curve.speedups[2] > curve.speedups[1]
+        assert sweep.summary()["failed"] == 0
+        text = render_speedup(curves)
+        assert "fib" in text and "x" in text
+        data = curve.as_dict()
+        assert data["speedup"]["2"] == round(curve.speedups[2], 4)
+
+    def test_shares_cache_with_table3(self, tmp_path):
+        from repro.exp.cache import ResultCache
+        from repro.harness.speedup import run_speedup
+        cache = ResultCache(str(tmp_path))
+        run_table3(program_names=["fib"], systems=("Apr-lazy",),
+                   cpus_by_system={"Apr-lazy": (1, 2)},
+                   args_by_program={"fib": (7,)}, cache=cache)
+        _, sweep = run_speedup(program_names=["fib"], system="Apr-lazy",
+                               cpus=(1, 2), args_by_program={"fib": (7,)},
+                               cache=cache)
+        assert sweep.summary()["executed"] == 0    # all cells shared
+
+
+class TestSweepCLI:
+    def _spec(self, tmp_path, cpus=(1, 2)):
+        spec = {
+            "name": "clismoke",
+            "grid": {"programs": ["fib"], "systems": ["APRIL"],
+                     "cpus": list(cpus), "args": {"fib": [7]}},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_sweep_command_and_resume(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = self._spec(tmp_path)
+        out1 = tmp_path / "r1.json"
+        out2 = tmp_path / "r2.json"
+        assert main(["sweep", spec, "--jobs", "2",
+                     "--out", str(out1)]) == 0
+        assert main(["sweep", spec, "--out", str(out2)]) == 0
+        first = json.loads(out1.read_text())
+        second = json.loads(out2.read_text())
+        assert first["cells"] == second["cells"]
+        assert second["summary"]["cache_hits"] == 2
+        assert second["summary"]["executed"] == 0
+        assert "cache_hits=2" in capsys.readouterr().err
+
+    def test_sweep_bad_spec_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        assert main(["sweep", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_table3_filters_single_cell(self, tmp_path, monkeypatch,
+                                        capsys):
+        from repro.cli import main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setattr(
+            "repro.harness.table3.APRIL_CPUS", (1, 2))
+        monkeypatch.setattr(
+            "repro.workloads.fib.args", lambda n=7: (7,))
+        assert main(["table3", "--programs", "fib",
+                     "--systems", "APRIL"]) == 0
+        captured = capsys.readouterr()
+        assert "fib" in captured.out
+        assert "Encore" not in captured.out
+        assert "sweep:" in captured.err
+
+    def test_table3_comma_separated_filters(self, capsys):
+        from repro.cli import main
+        assert main(["table3", "--programs", "fib,nope"]) == 2
+        assert "unknown program" in capsys.readouterr().err
+
+    def test_table3_unknown_system(self, capsys):
+        from repro.cli import main
+        assert main(["table3", "--systems", "VAX"]) == 2
+        assert "unknown system" in capsys.readouterr().err
