@@ -6,7 +6,11 @@ Subcommands::
                            [--encore] [--coherent] [--args 10 ...]
                            [--json] [--profile] [--timeline]
                            [--events out.json] [--txn out.json] [--window N]
+    april explain PROGRAM.mult [run options] [--json]
+                               # why is speedup sublinear: per-thread cycle
+                               # accounting + ranked critical-path report
     april report PROGRAM.mult [run options] [--histograms]
+                              [--threads] [--critical-path]
                               [--out report.json]
     april bench [--out BENCH_simulator.json] [--check baseline] [--quick]
                 [--jobs N]
@@ -57,13 +61,17 @@ def _build_observation(args, force=False):
     timeline = getattr(args, "timeline", False)
     txn = getattr(args, "txn", None)
     histograms = getattr(args, "histograms", False)
-    if not (force or profile or events or timeline or txn or histograms):
+    threads = (getattr(args, "threads", False)
+               or getattr(args, "critical_path", False))
+    if not (force or profile or events or timeline or txn or histograms
+            or threads):
         return None
     return Observation(
         events=bool(events) or force,
         window=args.window,
         profile=profile or force,
         txn=bool(txn) or histograms or force,
+        threads=threads,
     )
 
 
@@ -139,11 +147,46 @@ def _write_txn(obs, args):
     return 0
 
 
+def _cmd_explain(args):
+    """Why is speedup sublinear: accounting tables + critical path."""
+    from repro.obs import ConservationError
+
+    with open(args.program) as handle:
+        source = handle.read()
+    obs = Observation(
+        events=bool(args.events),
+        window=args.window if args.events else 0,
+        txn=bool(args.txn) or args.coherent,
+        threads=True,
+    )
+    result = run_mult(source, mode=args.mode, args=tuple(args.args),
+                      software_checks=args.encore,
+                      config=_build_config(args), observe=obs)
+    try:
+        data = obs.explain(top=args.top, why_top=args.top)
+        obs.lifetime.check()
+    except ConservationError as exc:
+        print("error: cycle conservation violated: %s" % exc,
+              file=sys.stderr)
+        return 1
+
+    if args.json:
+        data["result"] = result.value
+        data["cycles"] = result.cycles
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(obs.explain_render(top=args.top))
+    return _write_trace(obs, args) or _write_txn(obs, args)
+
+
 def _cmd_report(args):
     result, obs = _run_observed(args, force_obs=True)
     report = obs.report(result=result, top=args.top)
     if args.histograms and "histograms" not in report:
         report["histograms"] = obs.hist.to_dict()
+    if getattr(args, "critical_path", False):
+        report["critical_path"] = obs.explain(
+            top=args.top, why_top=args.top)["critical_path"]
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         try:
@@ -335,6 +378,15 @@ def build_parser():
                          help="per-node utilization timeline")
     run_cmd.set_defaults(func=_cmd_run)
 
+    explain_cmd = sub.add_parser(
+        "explain", help="explain why speedup is sublinear: per-thread "
+                        "cycle accounting + ranked critical-path report")
+    _add_machine_options(explain_cmd)
+    explain_cmd.add_argument("--json", action="store_true",
+                             help="byte-stable JSON (thread accounting + "
+                                  "critical path) instead of text")
+    explain_cmd.set_defaults(func=_cmd_explain)
+
     report_cmd = sub.add_parser(
         "report", help="run a program and emit the full JSON machine report")
     _add_machine_options(report_cmd)
@@ -343,6 +395,12 @@ def build_parser():
     report_cmd.add_argument("--histograms", action="store_true",
                             help="include the latency histogram section "
                                  "(p50/p90/p99 per kind/hops/node)")
+    report_cmd.add_argument("--threads", action="store_true",
+                            help="include the per-thread cycle accounting "
+                                 "section (lifetime accountant)")
+    report_cmd.add_argument("--critical-path", action="store_true",
+                            help="include the causal critical-path section "
+                                 "(implies --threads)")
     report_cmd.set_defaults(func=_cmd_report)
 
     bench_cmd = sub.add_parser(

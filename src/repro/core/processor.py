@@ -124,6 +124,8 @@ class Processor:
         self.events = None
         #: Optional transaction tracer (see :mod:`repro.obs.txn`).
         self.txn = None
+        #: Optional lifetime accountant (see :mod:`repro.obs.lifetime`).
+        self.lifetime = None
         #: Opaque slot for the run-time system (scheduler, queues...).
         self.env = None
 
@@ -160,6 +162,8 @@ class Processor:
             raise ProcessorError("negative cycle charge")
         self.cycles += cycles
         setattr(self.stats, category, getattr(self.stats, category) + cycles)
+        if self.lifetime is not None:
+            self.lifetime.on_charge(self, cycles, category)
 
     # -- IPI delivery (Section 3.4) -----------------------------------------
 

@@ -21,7 +21,8 @@ from repro.machine.config import MachineConfig
 
 #: Bump when the engine's result payload layout changes: every cached
 #: result keyed under an older schema becomes a clean cache miss.
-SCHEMA_VERSION = 1
+#: 2: multiprocessor cells carry a ``critpath`` critical-path summary.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(data):

@@ -203,6 +203,8 @@ def execute_payload(payload):
         "output": result.output,
         "stats": result.stats.to_dict(),
     }
+    if observation is not None and observation.lifetime is not None:
+        out["critpath"] = observation.critpath_summary()
     if payload.get("capture", "report") == "report":
         out["report"] = machine_report(machine, result=result,
                                        observation=observation)

@@ -17,7 +17,11 @@ built in:
 * the :class:`~repro.obs.txn.TransactionTracer` — causal spans for
   every coherence transaction (miss, upgrade, full/empty fault,
   write-back) with streaming log2 latency histograms
-  (:mod:`repro.obs.hist`) by kind, hop distance, and node.
+  (:mod:`repro.obs.hist`) by kind, hop distance, and node;
+* the :class:`~repro.obs.lifetime.LifetimeAccountant` — per-virtual-
+  thread cycle attribution with an exact conservation invariant, the
+  substrate of the :mod:`repro.obs.critpath` causal critical-path
+  analyzer (``april explain``: *why* is speedup sublinear).
 
 The event stream exports to Chrome/Perfetto trace JSON
 (:mod:`repro.obs.perfetto`; open the file in ``ui.perfetto.dev``), and
@@ -38,8 +42,10 @@ From the shell: ``april run prog.mult --profile --events out.json
 --timeline`` and ``april report prog.mult``.
 """
 
+from repro.obs.critpath import CriticalPath
 from repro.obs.events import Event, EventBus, EventKind
 from repro.obs.hist import LatencyHistograms, Log2Histogram
+from repro.obs.lifetime import ConservationError, LifetimeAccountant
 from repro.obs.perfetto import perfetto_trace
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import machine_report
@@ -48,12 +54,15 @@ from repro.obs.session import Observation
 from repro.obs.txn import TransactionTracer, TxnRecord
 
 __all__ = [
+    "ConservationError",
+    "CriticalPath",
     "Event",
     "EventBus",
     "EventKind",
     "HotPathProfiler",
     "IntervalSampler",
     "LatencyHistograms",
+    "LifetimeAccountant",
     "Log2Histogram",
     "Observation",
     "TransactionTracer",

@@ -44,6 +44,7 @@ class EventKind(enum.Enum):
     THREAD_UNLOAD = "thread_unload"
     THREAD_STEAL = "thread_steal"
     THREAD_EXIT = "thread_exit"
+    THREAD_WAKE = "thread_wake"
 
 
 class Event:

@@ -18,7 +18,11 @@ Mapping:
   node — the transaction envelope with its request/service/coherence/
   response phases nested inside — plus *flow* events ("s"/"t"/"f", cat
   ``txn-flow``) stitching the issue, every switch-spin re-trap, and the
-  completion together, so a slow remote miss is clickable end-to-end.
+  completion together, so a slow remote miss is clickable end-to-end;
+* blocked-on-future waits (when a :class:`LifetimeAccountant` observed
+  the run) are *flow* events ("s"/"f", cat ``block-flow``) from the
+  resolver's frame at the resolve cycle to the waiter's frame at its
+  reload — each wait is a clickable arrow in ui.perfetto.dev.
 
 Simulated cycles are written one-to-one as trace microseconds.
 """
@@ -80,8 +84,66 @@ def _transaction_events(transactions, end_cycle):
     return trace_events
 
 
+def _lifetime_flows(lifetime):
+    """Flow events for every blocked-on-future wait with a known waker.
+
+    Each arrow starts where the producer resolved the future (its
+    loaded episode at the wake cycle) and ends where the blocked
+    consumer resumed (its next loaded episode).
+    """
+
+    def located(ledger, cycle):
+        """The thread's last loaded episode at or before ``cycle``.
+
+        A producer that resolves at its own exit has already left its
+        frame when the wake lands, so "covering" is too strict — the
+        arrow starts from wherever the producer last ran.
+        """
+        best = None
+        for seg in ledger.segments:
+            if seg.kind == "loaded" and seg.start <= cycle:
+                best = seg
+            elif seg.start > cycle:
+                break
+        return best
+
+    trace_events = []
+    dense = lifetime.dense_ids()
+    serial = 0
+    for tid in lifetime.order:
+        ledger = lifetime.threads[tid]
+        for index, seg in enumerate(ledger.segments):
+            if seg.kind != "blocked" or seg.waker is None:
+                continue
+            waker = lifetime.threads.get(seg.waker)
+            if waker is None:
+                continue
+            src = located(waker, seg.end)
+            dst = next((s for s in ledger.segments[index + 1:]
+                        if s.kind == "loaded"), None)
+            if src is None or dst is None:
+                continue
+            serial += 1
+            ident = "block-%d-%d" % (dense.get(tid, tid), serial)
+            name = "future-wake"
+            trace_events.append({
+                "ph": "s", "cat": "block-flow", "id": ident,
+                "pid": src.node, "tid": src.frame or 0, "ts": seg.end,
+                "name": name,
+                "args": {"waiter": dense.get(tid, tid),
+                         "waker": dense.get(seg.waker, seg.waker),
+                         "blocked_cycles": seg.length},
+            })
+            trace_events.append({
+                "ph": "f", "bp": "e", "cat": "block-flow", "id": ident,
+                "pid": dst.node, "tid": dst.frame or 0, "ts": dst.start,
+                "name": name,
+            })
+    return trace_events
+
+
 def perfetto_trace(bus, num_nodes, end_cycle, sampler=None,
-                   transactions=None):
+                   transactions=None, lifetime=None):
     """Build the Chrome trace dict for an event stream.
 
     Args:
@@ -91,6 +153,8 @@ def perfetto_trace(bus, num_nodes, end_cycle, sampler=None,
         sampler: optional :class:`IntervalSampler` for counter tracks.
         transactions: optional :class:`TransactionTracer` whose finished
             records become async/flow events.
+        lifetime: optional finalized :class:`LifetimeAccountant` whose
+            blocked-on-future waits become flow arrows.
     """
     trace_events = []
     for node in range(num_nodes):
@@ -136,11 +200,16 @@ def perfetto_trace(bus, num_nodes, end_cycle, sampler=None,
                          if k != "frame"},
             })
 
-    for key in list(open_slices):
+    # Threads still resident at run end: emit their slices with
+    # dur = end_cycle - start (sorted keys keep the output byte-stable).
+    for key in sorted(open_slices):
         close_slice(key, end_cycle)
 
     if transactions is not None:
         trace_events.extend(_transaction_events(transactions, end_cycle))
+
+    if lifetime is not None:
+        trace_events.extend(_lifetime_flows(lifetime))
 
     if sampler is not None:
         start = 0               # the flush window is narrower than `window`

@@ -10,7 +10,10 @@ dormant hooks on.
 
 import json
 
+from repro.obs.critpath import analyze as _critpath_analyze
+from repro.obs.critpath import summarize as _critpath_summarize
 from repro.obs.events import EventBus
+from repro.obs.lifetime import LifetimeAccountant
 from repro.obs.perfetto import perfetto_trace
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import machine_report
@@ -28,14 +31,20 @@ class Observation:
         profile: enable the per-instruction hot-path profiler.
         txn: enable the coherence-transaction tracer (+ histograms).
         txn_capacity: finished-transaction ring size (None = unbounded).
+        threads: enable the per-thread lifetime accountant (and the
+            critical-path analyzer on top of it).  Forces an event bus —
+            the accountant subscribes synchronously, so ring capacity
+            never truncates its view.
     """
 
     def __init__(self, events=True, capacity=1_000_000, window=4096,
-                 profile=False, txn=False, txn_capacity=200_000):
-        self.bus = EventBus(capacity) if events else None
+                 profile=False, txn=False, txn_capacity=200_000,
+                 threads=False):
+        self.bus = EventBus(capacity) if (events or threads) else None
         self.sampler = IntervalSampler(window) if window else None
         self.profiler = HotPathProfiler() if profile else None
         self.txn = TransactionTracer(txn_capacity) if txn else None
+        self.lifetime = LifetimeAccountant() if threads else None
         self.machine = None
 
     @property
@@ -71,6 +80,13 @@ class Observation:
                     controller.events = bus
                 for directory in fabric.directories:
                     directory.events = bus
+        lifetime = self.lifetime
+        if lifetime is not None:
+            lifetime.subscribe(bus)
+            machine.runtime.lifetime = lifetime
+            machine.runtime.scheduler.lifetime = lifetime
+            for cpu in machine.cpus:
+                cpu.lifetime = lifetime
         tracer = self.txn
         if tracer is not None:
             for cpu in machine.cpus:
@@ -93,9 +109,12 @@ class Observation:
         runtime.events = None
         runtime.scheduler.events = None
         runtime.futures.events = None
+        runtime.lifetime = None
+        runtime.scheduler.lifetime = None
         for cpu in machine.cpus:
             cpu.events = None
             cpu.txn = None
+            cpu.lifetime = None
         if self.profiler is not None:
             self.profiler.detach(machine)
         fabric = machine.fabric
@@ -114,8 +133,10 @@ class Observation:
         if self.bus is None:
             raise ValueError("Observation was built with events=False")
         machine = self.machine
+        lifetime = self._finalized_lifetime()
         return perfetto_trace(self.bus, len(machine.cpus), machine.time,
-                              sampler=self.sampler, transactions=self.txn)
+                              sampler=self.sampler, transactions=self.txn,
+                              lifetime=lifetime)
 
     def write_perfetto(self, path):
         """Write the Perfetto trace JSON; returns the path."""
@@ -134,6 +155,68 @@ class Observation:
         return machine_report(self.machine, result=result, observation=self,
                               top=top)
 
+    # -- lifetime accounting / critical path -------------------------------
+
+    def _source_map(self):
+        machine = self.machine
+        if machine is None:
+            return None
+        return getattr(machine.program, "source_map", None)
+
+    def _finalized_lifetime(self):
+        """The accountant, finalized against the machine (or None)."""
+        if self.lifetime is None or self.machine is None:
+            return self.lifetime
+        return self.lifetime.finalize(self.machine)
+
+    def thread_accounting(self, top=None):
+        """The per-thread cycle tables (see :mod:`repro.obs.lifetime`)."""
+        lifetime = self._finalized_lifetime()
+        if lifetime is None:
+            raise ValueError("Observation was built with threads=False")
+        return lifetime.to_dict(source_map=self._source_map(), top=top)
+
+    def critical_path(self):
+        """The :class:`~repro.obs.critpath.CriticalPath` of the run."""
+        lifetime = self._finalized_lifetime()
+        if lifetime is None:
+            raise ValueError("Observation was built with threads=False")
+        return _critpath_analyze(lifetime, source_map=self._source_map())
+
+    def critpath_summary(self, top=3):
+        """Compact per-cell summary for the experiment engine."""
+        lifetime = self._finalized_lifetime()
+        if lifetime is None:
+            return None
+        return _critpath_summarize(lifetime, source_map=self._source_map(),
+                                   top=top)
+
+    def explain_render(self, top=12):
+        """Human-readable ``april explain`` report (accounting + path)."""
+        source_map = self._source_map()
+        lifetime = self._finalized_lifetime()
+        if lifetime is None:
+            raise ValueError("Observation was built with threads=False")
+        path = _critpath_analyze(lifetime, source_map=source_map)
+        return "%s\n\n%s" % (lifetime.render(source_map=source_map, top=top),
+                             path.render(source_map=source_map, top=top))
+
+    def explain(self, top=None, why_top=None):
+        """The full ``april explain`` payload: accounting + critical path.
+
+        Byte-stable across identical runs (dense tids, no wall-clock).
+        """
+        source_map = self._source_map()
+        lifetime = self._finalized_lifetime()
+        if lifetime is None:
+            raise ValueError("Observation was built with threads=False")
+        path = _critpath_analyze(lifetime, source_map=source_map)
+        return {
+            "threads": lifetime.to_dict(source_map=source_map, top=top),
+            "critical_path": path.to_dict(source_map=source_map,
+                                          top=why_top),
+        }
+
     def to_dict(self, top=40):
         """The observation sections of the report."""
         data = {}
@@ -142,6 +225,7 @@ class Observation:
                 "emitted": self.bus.emitted,
                 "recorded": len(self.bus),
                 "dropped": self.bus.dropped,
+                "capacity": self.bus.capacity,
                 "counts": self.bus.counts(),
             }
         if self.sampler is not None:
@@ -151,6 +235,8 @@ class Observation:
         if self.txn is not None:
             data["transactions"] = self.txn.summary()
             data["histograms"] = self.txn.histograms.to_dict()
+        if self.lifetime is not None and self.machine is not None:
+            data["threads"] = self.thread_accounting(top=top)
         return data
 
 
@@ -160,10 +246,16 @@ def for_job(config):
     Workers (see :mod:`repro.exp.runner`) capture each job's machine
     report; on a coherent-mode config they additionally trace
     transactions so the cached result carries the latency-histogram
-    summary.  Ideal-mode runs return ``None`` — the plain
+    summary, and on any multiprocessor cell they run the lifetime
+    accountant so the cached result carries a critical-path summary
+    (``april speedup`` prints the dominant blocker per cell from it).
+    Sequential ideal-mode runs return ``None`` — the plain
     ``machine_report`` already covers everything observable there, and
     skipping the Observation keeps every dormant fast path.
     """
-    if getattr(config, "memory_mode", "ideal") != "coherent":
+    coherent = getattr(config, "memory_mode", "ideal") == "coherent"
+    parallel = getattr(config, "num_processors", 1) > 1
+    if not coherent and not parallel:
         return None
-    return Observation(events=False, window=0, profile=False, txn=True)
+    return Observation(events=False, capacity=4096, window=0, profile=False,
+                       txn=coherent, threads=parallel)

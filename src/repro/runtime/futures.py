@@ -50,6 +50,16 @@ class FutureTable:
             self.events.emit(EventKind.FUTURE_RESOLVE, cycle, node,
                              cell=cell, waiters=waiters)
 
+    def note_woken(self, cycle=0, node=0, cell=None, tid=None, waker=None):
+        """One blocked waiter was moved back to a ready queue.
+
+        ``waker`` is the tid of the thread that resolved the future —
+        the producer→consumer edge the critical-path analyzer follows.
+        """
+        if self.events is not None:
+            self.events.emit(EventKind.THREAD_WAKE, cycle, node,
+                             cell=cell, tid=tid, waker=waker)
+
     def counters(self):
         """Counter snapshot for reports."""
         return {

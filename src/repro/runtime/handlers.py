@@ -99,6 +99,7 @@ class TrapHandlers:
             return self._switch_spin(cpu, frame)
         # Yield: unload and requeue so unloaded producers can run.
         thread.spin_count = 0
+        thread.block_pc = trap.pc
         self.rts.scheduler.unload_thread(cpu, frame, ThreadState.READY)
         self.rts.scheduler.enqueue(thread)
         self.rts.dispatch_next(cpu)
@@ -144,6 +145,7 @@ class TrapHandlers:
         # Block: unload the thread onto the future's waiter list.
         thread.spin_count = 0
         thread.blocked_on = future_word
+        thread.block_pc = trap.pc
         self.rts.futures.add_waiter(future_word, thread)
         self.rts.scheduler.unload_thread(cpu, frame, ThreadState.BLOCKED)
         self.rts.dispatch_next(cpu)
@@ -211,7 +213,7 @@ class TrapHandlers:
                 "%s: markers older than a stolen marker must have been "
                 "transferred at steal time" % thread.name)
         value = cpu.read_reg(_A0, frame)
-        self.rts.resolve_future(cpu, marker.future, value)
+        self.rts.resolve_future(cpu, marker.future, value, waker=thread.tid)
         marker.active = False
         if thread.is_root:
             raise RuntimeSystemError(
@@ -232,7 +234,15 @@ class TrapHandlers:
         self.rts.scheduler.retire_thread(frame, cpu=cpu)
         self.rts.free_stack(thread)
         if thread.future is not None:
-            self.rts.resolve_future(cpu, thread.future, result)
+            # The frame is already empty: tell the accountant the resolve
+            # cost still belongs to the exiting thread.
+            lifetime = self.rts.lifetime
+            if lifetime is not None:
+                lifetime.push_owner(cpu, thread.tid)
+            self.rts.resolve_future(cpu, thread.future, result,
+                                    waker=thread.tid)
+            if lifetime is not None:
+                lifetime.pop_owner(cpu)
         if thread.is_root:
             self.rts.finish(result)
             return TrapAction.SWITCHED

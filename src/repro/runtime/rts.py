@@ -63,6 +63,8 @@ class RuntimeSystem:
         self._ipi_receiver = None
         #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
         self.events = None
+        #: Optional lifetime accountant (see :mod:`repro.obs.lifetime`).
+        self.lifetime = None
 
         self._layout_heaps()
         self._make_singletons()
@@ -140,13 +142,15 @@ class RuntimeSystem:
     # -- threads -----------------------------------------------------------------
 
     def new_thread(self, home_node, entry_closure=None, future=None,
-                   args=(), is_root=False, name=None, cpu=None):
+                   args=(), is_root=False, name=None, cpu=None, parent=None):
         """Create a fresh (unloaded, stack-less) virtual thread.
 
         The stack is assigned lazily at first load, so deep eager-future
         trees don't hold stacks for queued-but-never-started threads.
         ``cpu`` is the creating processor, used only to timestamp the
-        spawn event when observability is attached.
+        spawn event when observability is attached.  ``parent`` is the
+        spawning thread's tid (the spawn edge of the causal DAG); when
+        omitted it is taken from the creating processor's active frame.
         """
         thread = Thread(
             stack_base=None,
@@ -160,11 +164,15 @@ class RuntimeSystem:
         )
         self.threads.append(thread)
         if self.events is not None:
+            if parent is None and cpu is not None:
+                active = cpu.frames[cpu.fp].thread
+                parent = active.tid if active is not None else None
             self.events.emit(
                 EventKind.THREAD_SPAWN,
                 cpu.cycles if cpu is not None else 0,
                 cpu.node_id if cpu is not None else home_node,
-                tid=thread.tid, thread=thread.name, home=home_node)
+                tid=thread.tid, thread=thread.name, home=home_node,
+                parent=parent)
         return thread
 
     def bootstrap(self, cpu, frame, thread):
@@ -201,8 +209,14 @@ class RuntimeSystem:
 
     # -- futures -------------------------------------------------------------------
 
-    def resolve_future(self, cpu, future_word, value):
-        """Resolve a future cell and wake its blocked waiters."""
+    def resolve_future(self, cpu, future_word, value, waker=None):
+        """Resolve a future cell and wake its blocked waiters.
+
+        ``waker`` is the tid of the resolving thread; when omitted it is
+        taken from the active frame (callers that resolve *after*
+        retiring the producer must pass it explicitly — the frame is
+        empty by then).
+        """
         cell = tags.pointer_address(future_word)
         if self.memory.is_full(cell):
             raise RuntimeSystemError("future @%#x resolved twice" % cell)
@@ -212,10 +226,15 @@ class RuntimeSystem:
         waiters = self.futures.take_waiters(future_word)
         self.futures.note_resolved(cpu.cycles, cpu.node_id, cell=cell,
                                    waiters=len(waiters))
+        if waker is None:
+            active = cpu.frames[cpu.fp].thread
+            waker = active.tid if active is not None else None
         for waiter in waiters:
             waiter.blocked_on = None
             waiter.transition(ThreadState.READY)
             self.scheduler.enqueue(waiter)
+            self.futures.note_woken(cpu.cycles, cpu.node_id, cell=cell,
+                                    tid=waiter.tid, waker=waker)
 
     # -- dispatch / idle loop ------------------------------------------------------
 
@@ -304,6 +323,7 @@ class RuntimeSystem:
             thief_cpu.node_id,
             name="steal-of-%s" % victim.name,
             cpu=thief_cpu,
+            parent=victim.tid,
         )
         thread.stack_base = self.allocate_stack(thief_cpu.node_id)
         thread.stolen_base = thread.stack_base
@@ -339,8 +359,14 @@ class RuntimeSystem:
             "npc": marker.resume_pc + 4,
             "psr": ET_BIT,
         }
+        lifetime = self.lifetime
+        if lifetime is not None:
+            # The steal cost is the stolen thread's startup, not idle time.
+            lifetime.push_owner(thief_cpu, thread.tid)
         thief_cpu.charge(
             self.config.lazy_steal_cycles + copied_words, "trap")
+        if lifetime is not None:
+            lifetime.pop_owner(thief_cpu)
         return thread
 
     # -- IPIs ----------------------------------------------------------------------

@@ -14,7 +14,7 @@ costs to the processor doing the work.
 from collections import deque
 
 from repro.errors import RuntimeSystemError
-from repro.isa import registers
+from repro.isa import registers, tags
 from repro.obs.events import EventKind
 from repro.runtime.thread import ThreadState
 
@@ -33,6 +33,10 @@ class Scheduler:
         self.steals = 0
         #: Optional event bus (see :mod:`repro.obs`); None = no-op hooks.
         self.events = None
+        #: Optional lifetime accountant (see :mod:`repro.obs.lifetime`);
+        #: load/unload costs are charged while no thread is active, so
+        #: the accountant is told which thread owns them.
+        self.lifetime = None
 
     def counters(self):
         """Counter snapshot for reports."""
@@ -96,7 +100,12 @@ class Scheduler:
             frame.thread = thread
             bootstrap(cpu, frame, thread)
         frame.psr.tid = thread.tid & 0xFFFF
+        lifetime = self.lifetime
+        if lifetime is not None:
+            lifetime.push_owner(cpu, thread.tid)
         cpu.charge(self.config.thread_load_cycles, "switch")
+        if lifetime is not None:
+            lifetime.pop_owner(cpu)
         self.loads += 1
         if self.events is not None:
             self.events.emit(
@@ -112,13 +121,24 @@ class Scheduler:
         thread.saved_state = frame.save_state()
         thread.transition(new_state)
         frame.thread = None
+        lifetime = self.lifetime
+        if lifetime is not None:
+            lifetime.push_owner(cpu, thread.tid)
         cpu.charge(self.config.thread_unload_cycles, "switch")
+        if lifetime is not None:
+            lifetime.pop_owner(cpu)
         self.unloads += 1
         if self.events is not None:
+            extra = {}
+            if (new_state is ThreadState.BLOCKED
+                    and thread.blocked_on is not None):
+                extra["cell"] = tags.pointer_address(thread.blocked_on)
+                if thread.block_pc is not None:
+                    extra["pc"] = thread.block_pc
             self.events.emit(
                 EventKind.THREAD_UNLOAD, cpu.cycles, cpu.node_id,
                 frame=frame.index, tid=thread.tid, thread=thread.name,
-                state=new_state.value)
+                state=new_state.value, **extra)
         return thread
 
     def retire_thread(self, frame, cpu=None):

@@ -66,6 +66,9 @@ class Thread:
         self.last_fault_pc = None
         #: The future this thread is blocked on, when BLOCKED.
         self.blocked_on = None
+        #: PC of the touch that blocked this thread (source attribution
+        #: for the lifetime accountant; survives until the next block).
+        self.block_pc = None
         #: Result word once DONE.
         self.result = None
         #: Lazy-task markers pushed by this thread (innermost last).

@@ -276,6 +276,22 @@ class TestSpeedupHarness:
         data = curve.as_dict()
         assert data["speedup"]["2"] == round(curve.speedups[2], 4)
 
+    def test_cells_carry_dominant_blocker(self):
+        from repro.harness.speedup import render_speedup, run_speedup
+        curves, _ = run_speedup(program_names=["fib"], system="Apr-lazy",
+                                cpus=(2,), args_by_program={"fib": (7,)},
+                                force=True)
+        (curve,) = curves
+        summary = curve.critpath[2]
+        assert summary["conservation_exact"]
+        assert 0 < summary["length"] <= curve.cycles[2]
+        assert curve.dominant_blockers()[2] == summary["why"][0]
+        assert summary["why"][0]["cause"] in (
+            "blocked-on-future", "critical-chain-compute")
+        text = render_speedup(curves)
+        assert "dominant critical-path blocker" in text
+        assert curve.as_dict()["critical_path"]["2"] == summary
+
     def test_shares_cache_with_table3(self, tmp_path):
         from repro.exp.cache import ResultCache
         from repro.harness.speedup import run_speedup

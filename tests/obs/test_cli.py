@@ -125,3 +125,63 @@ class TestBenchCommand:
         problems, _ = check_baseline({"cycles_per_sec": 1.0},
                                      str(tmp_path / "nope.json"))
         assert problems and "cannot read" in problems[0]
+
+
+class TestExplainCommand:
+    def test_explain_text_report(self, fib_program, capsys):
+        assert main(["explain", fib_program, "-p", "2", "--args", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation: exact" in out
+        assert "why not linear" in out
+        assert "critical path:" in out
+
+    def test_explain_json_byte_stable(self, fib_program, capsys):
+        argv = ["explain", fib_program, "-p", "2", "--args", "8", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["result"] == 21
+        assert payload["threads"]["conservation"]["exact"]
+        path = payload["critical_path"]
+        assert 0 < path["length"] <= payload["cycles"]
+        assert path["why"]
+
+    def test_explain_writes_perfetto_trace(self, fib_program, capsys,
+                                           tmp_path):
+        trace_path = tmp_path / "explain.json"
+        assert main(["explain", fib_program, "-p", "2", "--args", "8",
+                     "--events", str(trace_path)]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_path.read_text())
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert "block-flow" in cats
+
+
+class TestReportThreadFlags:
+    def test_report_threads_section(self, fib_program, capsys):
+        assert main(["report", fib_program, "-p", "2", "--args", "8",
+                     "--threads"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        threads = report["threads"]
+        assert threads["conservation"]["exact"]
+        assert threads["threads"]
+
+    def test_report_critical_path_implies_threads(self, fib_program,
+                                                  capsys):
+        assert main(["report", fib_program, "-p", "2", "--args", "8",
+                     "--critical-path"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "threads" in report
+        path = report["critical_path"]
+        assert path["length"] <= report["result"]["cycles"]
+        assert not path["truncated"]
+
+    def test_report_without_flags_has_no_thread_section(self, fib_program,
+                                                        capsys):
+        assert main(["report", fib_program, "-p", "2", "--args", "8"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "threads" not in report
+        assert "critical_path" not in report

@@ -1,0 +1,117 @@
+"""Critical-path analyzer: bounds, exact tiling, cause attribution."""
+
+from repro.obs.critpath import WHAT_KEYS, _split_loaded, analyze, summarize
+from repro.obs.lifetime import Segment
+from tests.obs.test_lifetime import lifetime_run
+
+
+def analyzed_run(n=8, processors=4, **kwargs):
+    result, obs = lifetime_run(n=n, processors=processors, **kwargs)
+    path = obs.critical_path()
+    return result, obs, path
+
+
+class TestPathBounds:
+    """length <= machine cycles and >= machine cycles / nodes."""
+
+    def test_bounds_small_and_large(self):
+        for n in (8, 12):
+            result, obs, path = analyzed_run(n=n)
+            nodes = len(obs.machine.cpus)
+            assert not path.truncated
+            assert path.length <= result.cycles
+            assert path.length >= result.cycles // nodes
+            # The chain anchors at the run-ending exit, so it reaches
+            # the root thread's final cycle.
+            assert path.anchor_cycle <= result.cycles
+
+    def test_single_node_path_is_whole_run(self):
+        result, _, path = analyzed_run(processors=1)
+        assert path.length == result.cycles
+
+    def test_steps_tile_the_chain_exactly(self):
+        _, _, path = analyzed_run()
+        for step in path.steps:
+            assert sum(step.what.values()) == step.end - step.start
+        assert sum(sum(s.what.values()) for s in path.steps) == path.length
+
+    def test_both_decompositions_sum_to_length(self):
+        _, _, path = analyzed_run()
+        assert sum(path.what.values()) == path.length
+        assert sum(path.why.values()) == path.length
+        assert set(path.what) <= set(WHAT_KEYS)
+
+
+class TestCauseAttribution:
+    def test_dominant_cause_named_with_source_line(self):
+        # Eager fib blocks on its own adds: at both sizes the report
+        # must name blocked-on-future with a source-line attribution.
+        for n in (8, 12):
+            _, obs, path = analyzed_run(n=n)
+            source_map = obs.machine.program.source_map
+            ranked = path.ranked_why(source_map=source_map)
+            assert ranked, "empty why ranking"
+            blocker = path.dominant_blocker(source_map=source_map)
+            assert blocker is not None
+            assert blocker["cause"] == "blocked-on-future"
+            assert "line" in blocker and "text" in blocker
+            assert 0 < blocker["share"] <= 1
+
+    def test_shares_ranked_descending(self):
+        _, obs, path = analyzed_run()
+        ranked = path.ranked_why()
+        cycles = [entry["cycles"] for entry in ranked]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_render_names_the_blocker(self):
+        _, obs, path = analyzed_run()
+        text = path.render(source_map=obs.machine.program.source_map)
+        assert "critical path:" in text
+        assert "why not linear" in text
+        assert "blocked-on-future at line" in text
+
+
+class TestSummarize:
+    def test_summary_shape_for_sweep_cells(self):
+        result, obs, _ = analyzed_run()
+        lifetime = obs.lifetime.finalize(obs.machine)
+        summary = summarize(lifetime,
+                            source_map=obs.machine.program.source_map)
+        assert summary["conservation_exact"]
+        assert 0 < summary["length"] <= result.cycles
+        assert 0 < summary["share_of_run"] <= 1.0
+        assert summary["why"]
+        assert len(summary["why"]) <= 3
+
+    def test_analyze_is_deterministic(self):
+        _, obs, _ = analyzed_run()
+        lifetime = obs.lifetime.finalize(obs.machine)
+        first = analyze(lifetime)
+        second = analyze(lifetime)
+        assert first.what == second.what
+        assert first.why == second.why
+        assert len(first.steps) == len(second.steps)
+
+
+class TestSplitLoaded:
+    """Integer pro-rata split with largest-remainder rounding."""
+
+    def _episode(self, oncpu, length):
+        return Segment("loaded", 0, length, oncpu=oncpu)
+
+    def test_full_span_returns_the_mix(self):
+        seg = self._episode({"running": 7, "trap": 3}, 10)
+        assert _split_loaded(seg, 10) == {"running": 7, "trap": 3}
+
+    def test_partial_span_sums_exactly(self):
+        seg = self._episode({"running": 7, "trap": 3}, 10)
+        for span in range(1, 10):
+            shares = _split_loaded(seg, span)
+            assert sum(shares.values()) == span
+
+    def test_uncharged_residency_becomes_loaded_wait(self):
+        seg = self._episode({"running": 4}, 10)
+        shares = _split_loaded(seg, 10)
+        assert shares == {"running": 4, "loaded_wait": 6}
+        seg = self._episode({}, 8)
+        assert _split_loaded(seg, 5) == {"loaded_wait": 5}

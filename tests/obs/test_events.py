@@ -90,6 +90,12 @@ def _normalized(bus):
             record["tid"] = mapping[tid]
             if record.get("thread") == "thread-%d" % tid:
                 record["thread"] = "thread-#%d" % mapping[tid]
+        # parent/waker are tid-valued too (spawn and wake events).
+        for field in ("parent", "waker"):
+            raw = record.get(field)
+            if raw is not None:
+                mapping.setdefault(raw, len(mapping))
+                record[field] = mapping[raw]
         out.append(record)
     return out
 

@@ -119,3 +119,64 @@ class TestTransactionEvents:
             assert {name for name, _, _ in record.phases} <= names
             assert all(record.issue <= e["ts"] for e in mine)
             break
+
+
+class TestOpenSliceLeftovers:
+    """Threads still resident at run end get dur = end_cycle - start."""
+
+    def test_leftover_slice_spans_to_run_end(self):
+        from repro.obs.events import EventBus, EventKind
+        from repro.obs.perfetto import perfetto_trace
+        bus = EventBus()
+        bus.emit(EventKind.THREAD_LOAD, 40, 0, frame=1, tid=7,
+                 thread="thread-7")
+        trace = perfetto_trace(bus, 1, 100)
+        (slice_,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert slice_["ts"] == 40
+        assert slice_["dur"] == 60
+        assert slice_["name"] == "thread-7"
+
+    def test_leftovers_close_in_deterministic_order(self):
+        from repro.obs.events import EventBus, EventKind
+        from repro.obs.perfetto import perfetto_trace
+        bus = EventBus()
+        # Emit loads out of (node, frame) order; never unload them.
+        for node, frame in ((1, 3), (0, 2), (1, 0), (0, 1)):
+            bus.emit(EventKind.THREAD_LOAD, 10, node, frame=frame,
+                     thread="t-%d-%d" % (node, frame))
+        trace = perfetto_trace(bus, 2, 50)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        keys = [(e["pid"], e["tid"]) for e in slices]
+        assert keys == sorted(keys)
+        assert all(e["dur"] == 40 for e in slices)
+
+
+class TestBlockFlowEvents:
+    """Blocked-on-future waits become clickable flow arrows."""
+
+    def _flow_trace(self):
+        result, obs, trace = traced_run(processors=2, threads=True)
+        flows = [e for e in trace["traceEvents"]
+                 if e.get("cat") == "block-flow"]
+        return obs, flows
+
+    def test_flows_present_and_balanced(self):
+        obs, flows = self._flow_trace()
+        assert flows, "threads-observed run exported no block-flow arrows"
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert len(starts) == len(finishes)
+        assert all(e["bp"] == "e" for e in finishes)
+        for event in starts:
+            args = event["args"]
+            assert {"waiter", "waker", "blocked_cycles"} <= set(args)
+            assert args["blocked_cycles"] >= 0
+
+    def test_arrows_point_forward_in_time(self):
+        _, flows = self._flow_trace()
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], {})[event["ph"]] = event
+        for pair in by_id.values():
+            assert set(pair) == {"s", "f"}
+            assert pair["f"]["ts"] >= pair["s"]["ts"]

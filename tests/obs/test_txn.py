@@ -174,3 +174,90 @@ class TestSyntheticProtocol:
         assert record.kind == "writeback"
         assert record.latency == 14
         assert not txn.open_records()
+
+
+class _StubThread:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+class _StubFrame:
+    def __init__(self, tid, pc=0x40, index=0):
+        self.thread = _StubThread(tid)
+        self.pc = pc
+        self.index = index
+
+
+class _StubCpu:
+    def __init__(self, tid, pc=0x40):
+        self.frame = _StubFrame(tid, pc=pc)
+
+
+class TestAnomalyThresholds:
+    """Threshold edges and attribution of the anomaly pass."""
+
+    def _storm(self, txn, block, retraps, tid=None, node=0):
+        txn.begin(node, block, 1, write=False, now=0)
+        txn.commit(10, local=False)
+        cpu = _StubCpu(tid) if tid is not None else None
+        for i in range(retraps):
+            txn.trap_retry(node, block, 20 + i, cpu=cpu)
+        txn.complete(node, block, 100)
+
+    def test_storm_threshold_is_inclusive(self):
+        txn = TransactionTracer()
+        self._storm(txn, 0x100, retraps=8)
+        self._storm(txn, 0x200, retraps=7)
+        report = txn.anomalies(spin_storm=8)
+        (storm,) = report["switch_spin_storms"]
+        assert storm["block"] == 0x100
+        assert report["spin_storm_threshold"] == 8
+
+    def test_storm_counts_per_thread_not_per_transaction(self):
+        # 5 + 4 re-traps from two different threads on one transaction
+        # must not read as a 9-trap storm by any single thread.
+        txn = TransactionTracer()
+        txn.begin(0, 0x300, 1, write=False, now=0)
+        txn.commit(10, local=False)
+        for i in range(5):
+            txn.trap_retry(0, 0x300, 20 + i, cpu=_StubCpu(11))
+        for i in range(4):
+            txn.trap_retry(0, 0x300, 40 + i, cpu=_StubCpu(12))
+        txn.complete(0, 0x300, 100)
+        report = txn.anomalies(spin_storm=8)
+        assert report["switch_spin_storms"] == []
+        (storm,) = txn.anomalies(spin_storm=5)["switch_spin_storms"]
+        assert storm["retraps"] == 5
+
+    def test_open_transactions_included_in_anomaly_pass(self):
+        txn = TransactionTracer()
+        txn.begin(0, 0x400, 1, write=False, now=0)
+        txn.commit(10, local=False)
+        for i in range(9):
+            txn.trap_retry(0, 0x400, 20 + i, cpu=_StubCpu(3))
+        # Never completed: the storm is visible while still in flight.
+        (storm,) = txn.anomalies(spin_storm=8)["switch_spin_storms"]
+        assert storm["block"] == 0x400
+        assert storm["retraps"] == 9
+
+    def test_hot_line_threshold_is_inclusive(self):
+        txn = TransactionTracer()
+        for count, block in ((4, 0x500), (3, 0x600)):
+            for i in range(count):
+                txn.begin(0, block, 1, write=True, now=10 * i)
+                txn.inv_leg(1, block, "S", 10 * i + 3)
+                txn.commit(10 * i + 8, local=False)
+                txn.complete(0, block, 10 * i + 9)
+        report = txn.anomalies(hot_line=4)
+        (hot,) = report["invalidation_hot_lines"]
+        assert hot == {"block": 0x500, "invalidations": 4}
+
+    def test_summary_and_payload_carry_anomalies(self):
+        txn = TransactionTracer()
+        self._storm(txn, 0x700, retraps=9, tid=4242)
+        summary = txn.summary()
+        assert summary["anomalies"]["switch_spin_storms"]
+        payload = txn.to_payload()
+        (storm,) = payload["anomalies"]["switch_spin_storms"]
+        # Export-side dense renumbering reaches the anomaly records too.
+        assert storm["thread"] == 0
