@@ -20,8 +20,11 @@ utilization exactly like Figure 5 of the paper (useful work / switch
 overhead / memory stalls / idle).
 """
 
+from collections import deque
+
 from repro.core import alu
 from repro.core.fpu import FPU
+from repro.core.psr import ET_BIT
 from repro.core.task_frame import TaskFrame
 from repro.core.traps import (
     TRAP_SQUASH_CYCLES,
@@ -46,30 +49,79 @@ from repro.obs.events import EventKind
 #: Cycle-cost categories tracked by :attr:`Processor.stats`.
 CATEGORIES = ("useful", "stall", "trap", "switch", "spin", "idle")
 
+#: Longest straight-line run fused into one superblock.
+MAX_SUPERBLOCK = 32
+
 
 class ProcessorStats:
-    """Per-processor cycle and event counters."""
+    """Per-processor cycle and event counters.
+
+    ``_total`` mirrors the sum of the six category counters
+    incrementally, so :attr:`total_cycles` is an attribute read instead
+    of a 6-way ``getattr`` sum; everything that bumps a category (the
+    ``_add_*`` table, the fast-path handlers in
+    :mod:`repro.core.execops`, the superblock executor) bumps ``_total``
+    by the same amount.  The invariant is asserted in the test suite.
+    """
 
     __slots__ = (
-        "useful", "stall", "trap", "switch", "spin", "idle",
+        "useful", "stall", "trap", "switch", "spin", "idle", "_total",
         "instructions", "context_switches", "traps_taken", "trap_counts",
+        "_charge",
     )
 
     def __init__(self):
         for name in CATEGORIES:
             setattr(self, name, 0)
+        self._total = 0
         self.instructions = 0
         self.context_switches = 0
         self.traps_taken = 0
         self.trap_counts = {}
+        # Per-category bound-method dispatch: replaces the
+        # getattr/setattr pair in the old Processor.charge.
+        self._charge = {
+            "useful": self._add_useful,
+            "stall": self._add_stall,
+            "trap": self._add_trap,
+            "switch": self._add_switch,
+            "spin": self._add_spin,
+            "idle": self._add_idle,
+        }
+
+    # -- category adders (the precomputed charge table) --------------------
+
+    def _add_useful(self, cycles):
+        self.useful += cycles
+        self._total += cycles
+
+    def _add_stall(self, cycles):
+        self.stall += cycles
+        self._total += cycles
+
+    def _add_trap(self, cycles):
+        self.trap += cycles
+        self._total += cycles
+
+    def _add_switch(self, cycles):
+        self.switch += cycles
+        self._total += cycles
+
+    def _add_spin(self, cycles):
+        self.spin += cycles
+        self._total += cycles
+
+    def _add_idle(self, cycles):
+        self.idle += cycles
+        self._total += cycles
 
     @property
     def total_cycles(self):
-        return sum(getattr(self, name) for name in CATEGORIES)
+        return self._total
 
     def utilization(self):
         """Fraction of cycles doing useful work (the paper's U)."""
-        total = self.total_cycles
+        total = self._total
         return self.useful / total if total else 0.0
 
     def count_trap(self, kind):
@@ -111,7 +163,19 @@ class Processor:
         self.cycles = 0
         self.stats = ProcessorStats()
         self.halted = False
-        self.ipi_queue = []
+        self.ipi_queue = deque()
+        #: Superblock cache: block-start pc -> list of fuse closures, or
+        #: ``False`` for "no fusible run here".  Assumes code is
+        #: read-only once loaded (same assumption the shared
+        #: :class:`DecodeCache` documents).
+        self._blocks = {}
+        #: pc -> :class:`ExecEntry` translation cache (same read-only
+        #: code assumption); lets :meth:`step` skip the fetch +
+        #: word-keyed predecode pair on every revisited pc.
+        self._entries = {}
+        #: Count of fused superblocks executed (diagnostics/tests only;
+        #: deliberately not part of ``stats.snapshot()``).
+        self.superblocks = 0
         #: Pipeline-squash cost per trap (4 on custom APRIL silicon).
         self.trap_squash_cycles = TRAP_SQUASH_CYCLES
         #: Optional per-instruction callback(cpu, pc, instr) for tracing.
@@ -161,7 +225,7 @@ class Processor:
         if cycles < 0:
             raise ProcessorError("negative cycle charge")
         self.cycles += cycles
-        setattr(self.stats, category, getattr(self.stats, category) + cycles)
+        self.stats._charge[category](cycles)
         if self.lifetime is not None:
             self.lifetime.on_charge(self, cycles, category)
 
@@ -178,6 +242,63 @@ class Processor:
 
         Returns the number of cycles consumed, and advances
         :attr:`cycles` by the same amount.
+
+        Dispatches through the translation cache
+        (:meth:`DecodeCache.predecode`): each fetched word resolves to a
+        prebuilt :class:`~repro.core.execops.ExecEntry` whose ``run``
+        closure has the operand fields already unpacked, replacing the
+        old ``_execute`` if-chain walk.  The if-chain survives as
+        :meth:`step_reference` so the lockstep harness can run both
+        interpreters differentially.
+        """
+        if self.halted:
+            return 0
+        start = self.cycles
+
+        frame = self.frames[self.fp]
+        if self.ipi_queue and frame.psr.value & ET_BIT:
+            message = self.ipi_queue.popleft()
+            self._take_trap(frame, Trap(TrapKind.IPI, pc=frame.pc, value=message))
+            return self.cycles - start
+
+        pc = frame.pc
+        entry = self._entries.get(pc)
+        if entry is None:
+            try:
+                entry = self.decoder.predecode(self.port.fetch(pc))
+            except Exception as exc:
+                self._take_trap(
+                    frame, Trap(TrapKind.ILLEGAL, pc=pc, cause=str(exc)))
+                return self.cycles - start
+            # Only successful translations are cached, so a faulting pc
+            # re-raises (and re-traps) on every execution, like the
+            # reference interpreter.
+            self._entries[pc] = entry
+
+        if self.trace_hook is not None:
+            self.trace_hook(self, pc, entry.instr)
+        if self.profile_hook is not None:
+            self.profile_hook(self, pc, entry.instr)
+        try:
+            next_pc, next_npc = entry.run(self, frame, pc, frame.npc)
+        except TrapSignal as signal:
+            self._take_trap(frame, signal.trap)
+            return self.cycles - start
+
+        # The executing frame's PC chain advances; a handler or INCFP may
+        # have redirected FP, which only affects the *next* fetch.
+        frame.pc = next_pc
+        frame.npc = next_npc
+        self.stats.instructions += 1
+        return self.cycles - start
+
+    def step_reference(self):
+        """The original decode + if-chain interpreter step.
+
+        Semantically identical to :meth:`step`; kept as the oracle side
+        of the differential lockstep harness
+        (``tests/core/test_lockstep.py``) and selected machine-wide by
+        ``AlewifeMachine(..., fastpath=False)``.
         """
         if self.halted:
             return 0
@@ -185,7 +306,7 @@ class Processor:
 
         frame = self.frame
         if self.ipi_queue and frame.psr.traps_enabled:
-            message = self.ipi_queue.pop(0)
+            message = self.ipi_queue.popleft()
             self._take_trap(frame, Trap(TrapKind.IPI, pc=frame.pc, value=message))
             return self.cycles - start
 
@@ -208,12 +329,98 @@ class Processor:
             self._take_trap(frame, signal.trap)
             return self.cycles - start
 
-        # The executing frame's PC chain advances; a handler or INCFP may
-        # have redirected FP, which only affects the *next* fetch.
         frame.pc = next_pc
         frame.npc = next_npc
         self.stats.instructions += 1
         return self.cycles - start
+
+    def use_reference_interpreter(self):
+        """Route all step() calls through :meth:`step_reference`.
+
+        Shadows the bound method on the instance so every caller —
+        run-time system, machine loop, tests — gets the if-chain path
+        without per-step branching.
+        """
+        self.step = self.step_reference
+
+    # -- superblock executor (fast path only) --------------------------------
+
+    def step_block(self, budget):
+        """Execute one fused superblock, or fall back to :meth:`step`.
+
+        A superblock is a straight-line run of fusible instructions
+        (raw logic, ``LUI``/``ORIL``, ``NOP`` — nothing that can trap,
+        branch, touch memory, or move FP) executed as one Python call:
+        the per-instruction ``charge()`` calls collapse into a single
+        integer add for the whole block.
+
+        ``budget`` bounds the block length in cycles so the caller's
+        event-loop slice is never overshot (every fused instruction
+        costs exactly one cycle).  Falls back to :meth:`step` — same
+        return convention, cycles consumed — whenever no block applies
+        or any per-instruction hook is attached; only call this with
+        machine-level observability dormant.
+        """
+        if self.halted:
+            return 0
+        if (self.trace_hook is not None or self.profile_hook is not None
+                or self.lifetime is not None):
+            return self.step()
+        frame = self.frames[self.fp]
+        if self.ipi_queue and frame.psr.value & ET_BIT:
+            return self.step()
+        pc = frame.pc
+        if frame.npc != pc + 4:
+            # In a branch delay slot (or a redirected PC chain): the
+            # block's straight-line npc math would be wrong.
+            return self.step()
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._build_block(pc)
+        if block is False:
+            return self.step()
+        n = len(block)
+        if n > budget:
+            return self.step()
+        for fuse in block:
+            fuse(self, frame)
+        self.cycles += n
+        stats = self.stats
+        stats.useful += n
+        stats._total += n
+        stats.instructions += n
+        self.superblocks += 1
+        next_pc = pc + 4 * n
+        frame.pc = next_pc
+        frame.npc = next_pc + 4
+        return n
+
+    def _build_block(self, pc):
+        """Scan forward from ``pc`` collecting fusible handlers.
+
+        Caches the result (or ``False`` when the run is too short to be
+        worth fusing) under the block-start pc.  Scanning uses
+        side-effect-free instruction fetches (perfect I-cache).
+        """
+        predecode = self.decoder.predecode
+        fetch = self.port.fetch
+        fuses = []
+        scan = pc
+        try:
+            while len(fuses) < MAX_SUPERBLOCK:
+                fuse = predecode(fetch(scan)).fuse
+                if fuse is None:
+                    break
+                fuses.append(fuse)
+                scan += 4
+        except Exception:
+            # Unfetchable/undecodable word ends the block; the slow
+            # path will turn it into the proper ILLEGAL trap if the
+            # program actually executes into it.
+            pass
+        block = fuses if len(fuses) >= 2 else False
+        self._blocks[pc] = block
+        return block
 
     def run(self, max_cycles=None, max_instructions=None):
         """Step until halted or a limit is reached; returns cycles run."""

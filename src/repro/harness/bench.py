@@ -40,11 +40,12 @@ def _timed(source, observe=None, **kwargs):
     return result, time.perf_counter() - start
 
 
-def _sequential_throughput(quick):
+def _sequential_throughput(quick, fastpath=True):
     """Raw interpreter speed: sequential fib, no fabric, no observation."""
     module = workloads.get("fib")
     n = 11 if quick else 13
-    result, elapsed = _timed(module.source(), mode="sequential", args=(n,))
+    result, elapsed = _timed(module.source(), mode="sequential", args=(n,),
+                             fastpath=fastpath)
     assert result.value == module.reference(n)
     return {
         "workload": "fib(%d) sequential" % n,
@@ -58,7 +59,7 @@ def _sequential_throughput(quick):
     }
 
 
-def _eager_overhead(quick):
+def _eager_overhead(quick, fastpath=True):
     """Dormant vs. fully-observed eager run (events off, profiler on)."""
     module = workloads.get("fib")
     source = module.source()
@@ -67,10 +68,15 @@ def _eager_overhead(quick):
     result = None
     for _ in range(reps):            # interleave: fair to warm-up effects
         result, elapsed = _timed(source, mode="eager", processors=2,
-                                 args=(n,))
+                                 args=(n,), fastpath=fastpath)
         bare += elapsed
+        # events=False matches this section's charter (the docstring
+        # above): it prices the sampler + profiler alone.  The coherent
+        # section below prices the full bus-and-everything observation.
         _, elapsed = _timed(source, mode="eager", processors=2, args=(n,),
-                            observe=Observation(profile=True, window=4096))
+                            fastpath=fastpath,
+                            observe=Observation(events=False, profile=True,
+                                                window=4096))
         observed += elapsed
     assert result.value == module.reference(n)
     bare /= reps
@@ -85,7 +91,7 @@ def _eager_overhead(quick):
     }
 
 
-def _coherent_traced(quick):
+def _coherent_traced(quick, fastpath=True):
     """Dormant vs. fully-traced coherent run (txn tracer + everything)."""
     module = workloads.get("fib")
     source = module.source()
@@ -96,11 +102,11 @@ def _coherent_traced(quick):
     obs = None
     for _ in range(reps):
         result, elapsed = _timed(source, mode="eager", args=(n,),
-                                 config=config)
+                                 config=config, fastpath=fastpath)
         bare += elapsed
         obs = Observation(events=True, window=4096, profile=True, txn=True)
         _, elapsed = _timed(source, mode="eager", args=(n,), config=config,
-                            observe=obs)
+                            fastpath=fastpath, observe=obs)
         traced += elapsed
     assert result.value == module.reference(n)
     bare /= reps
@@ -129,7 +135,7 @@ SECTIONS = (
 )
 
 
-def run_bench(quick=False, pool_size=1):
+def run_bench(quick=False, pool_size=1, fastpath=True):
     """Run the whole suite; returns the JSON-ready payload.
 
     ``pool_size`` > 1 fans the three sections out to worker processes
@@ -138,13 +144,17 @@ def run_bench(quick=False, pool_size=1):
     host wall time, not a function of the inputs — so there is no
     ``cache`` knob here; ``--no-cache``/``--force`` on the CLI are
     accepted no-ops for interface uniformity with ``april table3``.
+
+    ``fastpath=False`` (CLI ``--no-fastpath``) times the reference
+    interpreter instead — the A/B knob for measuring what the
+    translation-cache fast path is worth on the current host.
     """
     start = time.perf_counter()
     if pool_size > 1:
         from repro.exp.job import CallJob
         from repro.exp.runner import run_jobs
         jobs = [CallJob(("bench", name), __name__, func,
-                        kwargs={"quick": quick})
+                        kwargs={"quick": quick, "fastpath": fastpath})
                 for name, func in SECTIONS]
         sweep = run_jobs(jobs, pool_size=pool_size)
         for outcome in sweep.failures:
@@ -155,13 +165,14 @@ def run_bench(quick=False, pool_size=1):
         sequential, eager, coherent = (
             by_key[("bench", name)].value for name, _ in SECTIONS)
     else:
-        sequential = _sequential_throughput(quick)
-        eager = _eager_overhead(quick)
-        coherent = _coherent_traced(quick)
+        sequential = _sequential_throughput(quick, fastpath=fastpath)
+        eager = _eager_overhead(quick, fastpath=fastpath)
+        coherent = _coherent_traced(quick, fastpath=fastpath)
     return {
         "schema": "april-bench/1",
         "suite": "simulator",
         "quick": quick,
+        "fastpath": fastpath,
         "wall_time_s": round(time.perf_counter() - start, 2),
         "cycles_per_sec": eager["cycles_per_sec"],
         "instr_per_sec": sequential["instr_per_sec"],
@@ -204,9 +215,18 @@ def check_baseline(payload, spec, tolerance=TOLERANCE):
     except OSError as exc:
         return (["cannot read baseline %s: %s" % (path, exc)], [])
     problems, notes = [], []
+    comparable = True
+    for knob in ("quick", "fastpath"):
+        ours = bool(payload.get(knob, knob == "fastpath"))
+        theirs = bool(baseline.get(knob, knob == "fastpath"))
+        if ours != theirs:
+            comparable = False
+            notes.append(
+                "payload %s=%s but baseline %s=%s: cycles/sec are not "
+                "comparable, rate check skipped" % (knob, ours, knob, theirs))
     base_rate = baseline.get("cycles_per_sec", 0.0)
     rate = payload.get("cycles_per_sec", 0.0)
-    if base_rate > 0:
+    if comparable and base_rate > 0:
         ratio = rate / base_rate
         if ratio < 1.0 - tolerance:
             problems.append(

@@ -7,7 +7,7 @@ from repro.machine.config import MachineConfig
 
 def run_mult(source, mode="eager", processors=1, software_checks=False,
              config=None, entry="main", args=(), max_cycles=200_000_000,
-             optimize=False, observe=None):
+             optimize=False, observe=None, fastpath=True):
     """Compile ``source`` and run its ``entry`` function.
 
     Returns the :class:`~repro.machine.alewife.MachineResult`; its
@@ -15,6 +15,8 @@ def run_mult(source, mode="eager", processors=1, software_checks=False,
     ``cycles`` the simulated run time.  Pass an
     :class:`~repro.obs.Observation` as ``observe`` to capture events,
     utilization timelines, and profiles from the run.
+    ``fastpath=False`` selects the reference interpreter and event loop
+    (see :class:`~repro.machine.alewife.AlewifeMachine`).
     """
     compiled = compile_source(source, mode=mode,
                               software_checks=software_checks,
@@ -23,7 +25,7 @@ def run_mult(source, mode="eager", processors=1, software_checks=False,
         config = MachineConfig(num_processors=processors)
     if config.lazy_futures != compiled.wants_lazy_scheduling:
         config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
-    machine = AlewifeMachine(compiled.program, config)
+    machine = AlewifeMachine(compiled.program, config, fastpath=fastpath)
     if observe is not None:
         observe.attach(machine)
     return machine.run(entry=compiled.entry_label(entry), args=args,

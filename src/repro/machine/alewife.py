@@ -42,14 +42,28 @@ class MachineResult:
 
 
 class AlewifeMachine:
-    """An N-node ALEWIFE machine executing one loaded program."""
+    """An N-node ALEWIFE machine executing one loaded program.
 
-    def __init__(self, program, config=None):
+    ``fastpath`` selects the interpreter/loop generation.  ``True`` (the
+    default) uses predecoded dispatch plus — when every observability
+    hook is dormant — the superblock fast loops; ``False`` pins every
+    processor to the original decode + if-chain interpreter and the
+    per-instruction heapq loop, which is the oracle side of the
+    differential lockstep harness.  It is deliberately a constructor
+    argument and *not* a :class:`MachineConfig` knob, so experiment
+    cache fingerprints are unaffected.
+    """
+
+    def __init__(self, program, config=None, fastpath=True):
         self.config = config or MachineConfig()
         self.program = program
         self.memory = Memory(self.config.memory_words)
         self.memory.load_program(program)
         self.time = 0
+        self.fastpath = fastpath
+        #: Which execution loop :meth:`run` chose ("fast-sequential",
+        #: "fast-sliced", or "reference"); set at run time, for tests.
+        self.loop_used = None
         #: Observability slots (see :mod:`repro.obs`): an attached
         #: ``Observation`` wires these; ``None`` keeps the fast path.
         self.sampler = None
@@ -58,6 +72,9 @@ class AlewifeMachine:
 
         self.cpus = []
         self._build_memory_system(decoder)
+        if not fastpath:
+            for cpu in self.cpus:
+                cpu.use_reference_interpreter()
         self.runtime = RuntimeSystem(
             self.config, self.memory, self.cpus, program)
 
@@ -80,6 +97,23 @@ class AlewifeMachine:
 
     # -- execution ---------------------------------------------------------
 
+    def _hooks_dormant(self):
+        """True when no observability hook anywhere can observe steps.
+
+        This is the PR 1 dormant-hook contract: the superblock fast
+        loops are only legal when nothing samples, traces, profiles, or
+        accounts per instruction/charge, so batching cannot change what
+        an observer would have seen.
+        """
+        if self.sampler is not None or self.events is not None:
+            return False
+        for cpu in self.cpus:
+            if (cpu.trace_hook is not None or cpu.profile_hook is not None
+                    or cpu.events is not None or cpu.txn is not None
+                    or cpu.lifetime is not None):
+                return False
+        return True
+
     def run(self, entry="main", args=(), max_cycles=200_000_000):
         """Run ``entry`` on the machine; returns a :class:`MachineResult`.
 
@@ -88,49 +122,230 @@ class AlewifeMachine:
         runtime = self.runtime
         runtime.spawn_main(entry, args)
 
-        # Event queue of (local clock, sequence, cpu index); the
-        # sequence breaks ties deterministically.
-        queue = []
-        seq = 0
-        for index, cpu in enumerate(self.cpus):
-            heapq.heappush(queue, (cpu.cycles, seq, index))
-            seq += 1
-
-        idle_streak = 0
-        while not runtime.done:
-            when, _, index = heapq.heappop(queue)
-            cpu = self.cpus[index]
-            self.time = max(self.time, when)
-            sampler = self.sampler
-            if sampler is not None and self.time >= sampler.next_sample_at:
-                sampler.sample(self.time)
-            if self.time > max_cycles:
-                raise SimulationError(
-                    "cycle limit %d exceeded (deadlock or undersized limit)"
-                    % max_cycles)
-
-            if self.fabric is not None:
-                self.fabric.advance_to(self.time)
-
-            if runtime.has_work(cpu):
-                cpu.step()
-                idle_streak = 0
+        if self.fastpath and self._hooks_dormant():
+            if len(self.cpus) == 1:
+                self.loop_used = "fast-sequential"
+                self._run_fast_sequential(max_cycles)
             else:
-                found = runtime.on_idle(cpu)
-                if found:
-                    idle_streak = 0
-                else:
-                    idle_streak += 1
-                    if idle_streak > 4 * len(self.cpus):
-                        runtime.check_deadlock()
-
-            heapq.heappush(queue, (cpu.cycles, seq, index))
-            seq += 1
+                self.loop_used = "fast-sliced"
+                self._run_fast_sliced(max_cycles)
+        else:
+            self.loop_used = "reference"
+            self._run_reference(max_cycles)
 
         self.time = max(self.time, max(cpu.cycles for cpu in self.cpus))
         if self.sampler is not None:
             self.sampler.finish(self.time)
         return MachineResult(self, runtime.result)
+
+    def _cycle_limit_error(self, max_cycles):
+        return SimulationError(
+            "cycle limit %d exceeded (deadlock or undersized limit)"
+            % max_cycles)
+
+    def _run_reference(self, max_cycles):
+        """The per-instruction event loop every hook observes.
+
+        This is the oracle path: it runs whenever observability is
+        attached (or ``fastpath=False``), executing one instruction per
+        iteration through :meth:`Processor.step` so every hook sees the
+        exact per-instruction interleaving.
+
+        The only departure from the seed loop is *pop slicing*: after
+        popping the earliest processor, it keeps stepping it while its
+        clock stays strictly below the next queue entry.  The seed loop
+        would re-push and immediately re-pop the same processor in that
+        situation (strict minimum wins; at a clock tie the earlier
+        sequence number — the entry still in the queue — wins), so the
+        schedule, and therefore every observable, is unchanged; each
+        in-slice iteration still advances :attr:`time`, polls the
+        sampler, and enforces the cycle limit exactly as a pop did.
+        """
+        runtime = self.runtime
+        cpus = self.cpus
+        sampler = self.sampler
+        fabric = self.fabric
+        has_work = runtime.has_work
+        on_idle = runtime.on_idle
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        idle_limit = 4 * len(cpus)
+
+        # Event queue of (local clock, sequence, cpu index); the
+        # sequence breaks ties deterministically.
+        queue = []
+        seq = 0
+        for index, cpu in enumerate(cpus):
+            heappush(queue, (cpu.cycles, seq, index))
+            seq += 1
+
+        idle_streak = 0
+        while not runtime.done:
+            if not queue:
+                raise SimulationError(
+                    "all processors halted without a result")
+            _, _, index = heappop(queue)
+            cpu = cpus[index]
+            if cpu.halted:
+                # A halted processor never makes progress again: drop
+                # it from the event queue instead of re-popping it at a
+                # frozen clock forever.
+                continue
+            while True:
+                before = cpu.cycles
+                if before > self.time:
+                    self.time = before
+                if (sampler is not None
+                        and self.time >= sampler.next_sample_at):
+                    sampler.sample(self.time)
+                if self.time > max_cycles:
+                    raise self._cycle_limit_error(max_cycles)
+
+                if fabric is not None:
+                    fabric.advance_to(self.time)
+
+                if has_work(cpu):
+                    cpu.step()
+                    idle_streak = 0
+                elif on_idle(cpu):
+                    idle_streak = 0
+                else:
+                    idle_streak += 1
+                    if idle_streak > idle_limit:
+                        runtime.check_deadlock()
+
+                if (cpu.cycles == before or cpu.halted or runtime.done
+                        or (queue and cpu.cycles >= queue[0][0])):
+                    # Zero progress re-arbitrates (the re-pushed entry
+                    # loses any clock tie, exactly like the seed loop);
+                    # reaching the next entry's clock ends the slice.
+                    break
+
+            if not cpu.halted:
+                heappush(queue, (cpu.cycles, seq, index))
+                seq += 1
+
+    def _run_fast_sequential(self, max_cycles):
+        """Single-CPU fast loop: no heapq, superblocks unbounded.
+
+        With one processor there is no interleaving to arbitrate, so
+        the event queue is pure overhead: this loop just drives the CPU
+        directly, letting :meth:`Processor.step_block` fuse every
+        straight-line run it finds.
+        """
+        runtime = self.runtime
+        cpu = self.cpus[0]
+        step_block = cpu.step_block
+        has_work = runtime.has_work
+        on_idle = runtime.on_idle
+        no_budget_limit = 1 << 62
+        idle_streak = 0
+        while not runtime.done:
+            if cpu.halted:
+                raise SimulationError(
+                    "all processors halted without a result")
+            if has_work(cpu):
+                step_block(no_budget_limit)
+                idle_streak = 0
+            elif on_idle(cpu):
+                idle_streak = 0
+            else:
+                idle_streak += 1
+                if idle_streak > 4:
+                    runtime.check_deadlock()
+            if cpu.cycles > max_cycles:
+                self.time = cpu.cycles
+                raise self._cycle_limit_error(max_cycles)
+        self.time = max(self.time, cpu.cycles)
+
+    def _run_fast_sliced(self, max_cycles):
+        """Multi-CPU fast loop: heapq of *slices* instead of steps.
+
+        Equivalence with :meth:`_run_reference`: once a CPU is popped
+        as the minimum clock, the reference loop keeps re-popping it
+        while its clock stays *strictly* below the next entry's clock
+        (at equality the waiting entry's older sequence number wins).
+        So granting the popped CPU an uninterrupted slice bounded by
+        the next queue head's clock is exactly the reference schedule —
+        provided no fused superblock overshoots the bound, which
+        ``step_block(budget)`` guarantees (fused instructions cost one
+        cycle each).  Cross-CPU interactions (shared memory is
+        serialized by the host; IPIs are timestamped by the receiver's
+        own clock at delivery) therefore happen at identical simulated
+        times.  Halted CPUs are dropped instead of re-pushed.
+        """
+        runtime = self.runtime
+        cpus = self.cpus
+        fabric = self.fabric
+        has_work = runtime.has_work
+        on_idle = runtime.on_idle
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        idle_limit = 4 * len(cpus)
+
+        queue = []
+        seq = 0
+        for index, cpu in enumerate(cpus):
+            heappush(queue, (cpu.cycles, seq, index))
+            seq += 1
+
+        idle_streak = 0
+        while not runtime.done:
+            if not queue:
+                raise SimulationError(
+                    "all processors halted without a result")
+            when, _, index = heappop(queue)
+            cpu = cpus[index]
+            if cpu.halted:
+                continue
+            if when > self.time:
+                self.time = when
+            if self.time > max_cycles:
+                raise self._cycle_limit_error(max_cycles)
+            if fabric is not None:
+                # advance_to is documented time-driven-work-free
+                # (transactions compute completion at issue), so once
+                # per slice is as good as once per instruction.
+                fabric.advance_to(self.time)
+
+            # The slice: run while this CPU's clock is strictly the
+            # minimum.  With the queue momentarily holding the *other*
+            # CPUs, the bound is the next head's clock.  The pop
+            # already arbitrated any clock tie, so the first iteration
+            # always runs — with a zero budget no superblock fits and
+            # step_block degrades to exactly one reference step.
+            horizon = queue[0][0] if queue else when + 4096
+            budget = horizon - cpu.cycles
+            while True:
+                if has_work(cpu):
+                    # Tiny budgets (tightly interleaved clocks) cannot
+                    # fit a superblock worth fusing; skip straight to a
+                    # single step rather than paying the block lookup.
+                    if budget >= 4:
+                        spent = cpu.step_block(budget)
+                    else:
+                        spent = cpu.step()
+                    idle_streak = 0
+                    if spent == 0:
+                        # Halted (or a zero-cost trap in an exotic
+                        # config): yield to the event queue's tie-break.
+                        break
+                elif on_idle(cpu):
+                    idle_streak = 0
+                else:
+                    idle_streak += 1
+                    if idle_streak > idle_limit:
+                        runtime.check_deadlock()
+                    break
+                if runtime.done or cpu.halted:
+                    break
+                budget = horizon - cpu.cycles
+                if budget <= 0:
+                    break
+
+            if not cpu.halted:
+                heappush(queue, (cpu.cycles, seq, index))
+                seq += 1
 
     def stats(self):
         """Current :class:`MachineStats` snapshot."""
@@ -138,9 +353,9 @@ class AlewifeMachine:
 
 
 def run_program(program, config=None, entry="main", args=(),
-                max_cycles=200_000_000):
+                max_cycles=200_000_000, fastpath=True):
     """Build a machine, run a program, return the :class:`MachineResult`."""
-    machine = AlewifeMachine(program, config)
+    machine = AlewifeMachine(program, config, fastpath=fastpath)
     return machine.run(entry=entry, args=args, max_cycles=max_cycles)
 
 
@@ -182,7 +397,10 @@ def execute_payload(payload):
         config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
 
     observation = for_job(config)
-    machine = AlewifeMachine(compiled.program, config)
+    # Absent key defaults True so pre-existing payload hashes (and the
+    # content-addressed result cache) are unchanged by this knob.
+    machine = AlewifeMachine(compiled.program, config,
+                             fastpath=payload.get("fastpath", True))
     if observation is not None:
         observation.attach(machine)
     result = machine.run(

@@ -21,6 +21,12 @@ from collections import deque
 class EventKind(enum.Enum):
     """Every event type the simulator can emit."""
 
+    # Members are singletons and compare by identity, so the identity
+    # hash is correct — and it is C-speed, unlike Enum's default
+    # Python-level ``__hash__``, which shows up in profiles because the
+    # bus keys its per-kind dicts by member on every emit.
+    __hash__ = object.__hash__
+
     # Processor / trap machinery.
     TRAP_ENTER = "trap_enter"
     TRAP_EXIT = "trap_exit"
@@ -104,15 +110,20 @@ class EventBus:
         """Record an event and notify subscribers."""
         event = Event(kind, cycle, node, data)
         records = self.records
-        if records.maxlen is not None and len(records) == records.maxlen:
+        # ``len == None`` is False, so an unbounded ring skips the
+        # dropped-counter bump without a separate maxlen test.
+        if len(records) == records.maxlen:
             self._dropped += 1
         records.append(event)
         self.emitted += 1
-        self._counts[kind] = self._counts.get(kind, 0) + 1
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
         for callback in self._subscribers:
             callback(event)
-        for callback in self._kind_subscribers.get(kind, ()):
-            callback(event)
+        subscribers = self._kind_subscribers.get(kind)
+        if subscribers is not None:
+            for callback in subscribers:
+                callback(event)
 
     def subscribe(self, callback, kind=None):
         """Call ``callback(event)`` on every event (or one kind only)."""

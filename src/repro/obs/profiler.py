@@ -40,45 +40,63 @@ class HotPathProfiler:
     """Flat profile of PC -> (execution count, cycle cost)."""
 
     def __init__(self):
-        self._count = {}
-        self._cost = {}
-        self._state = {}          # node id -> [last pc, cycles at last pc]
+        self._records = {}        # pc -> [count, cycles]
+        self._state = {}          # node id -> [last record, cycles then]
+        self._hooks = {}          # node id -> installed hook closure
         self._source_map = {}
-        self.total_cycles = 0
+
+    @property
+    def total_cycles(self):
+        """All cycles attributed so far (exactly the sum of the per-PC
+        costs — the hook maintains no separate counter)."""
+        return sum(record[1] for record in self._records.values())
 
     def attach(self, machine):
         """Install the per-instruction hook on every processor."""
         self._source_map = machine.program.source_map
         for cpu in machine.cpus:
-            self._state[cpu.node_id] = [-1, 0]
-            cpu.profile_hook = self._hook
+            state = self._state[cpu.node_id] = [None, 0]
+            hook = self._hooks[cpu.node_id] = self._make_hook(state)
+            cpu.profile_hook = hook
 
     def detach(self, machine):
         for cpu in machine.cpus:
-            # ``==``, not ``is``: each ``self._hook`` access builds a
-            # fresh bound method; they compare equal, never identical.
-            if cpu.profile_hook == self._hook:
+            if cpu.profile_hook is self._hooks.get(cpu.node_id):
                 cpu.profile_hook = None
 
-    def _hook(self, cpu, pc, instr):
-        state = self._state[cpu.node_id]
-        last_pc = state[0]
-        if last_pc >= 0:
-            cost = cpu.cycles - state[1]
-            self._cost[last_pc] = self._cost.get(last_pc, 0) + cost
-            self.total_cycles += cost
-        self._count[pc] = self._count.get(pc, 0) + 1
-        state[0] = pc
-        state[1] = cpu.cycles
+    def _make_hook(self, state):
+        """Build one processor's hook closure.
+
+        The per-CPU ``state`` list and the shared records dict are
+        captured as closure cells, and ``state`` remembers the *record
+        list* of the previous pc (not the pc itself), so the hook —
+        which runs once per instruction — pays a single dict lookup
+        per call on hot paths.
+        """
+        records = self._records
+
+        def hook(cpu, pc, instr):
+            cycles = cpu.cycles
+            last = state[0]
+            if last is not None:
+                last[1] += cycles - state[1]
+            try:
+                record = records[pc]
+            except KeyError:
+                record = records[pc] = [0, 0]
+            record[0] += 1
+            state[0] = record
+            state[1] = cycles
+
+        return hook
 
     # -- reports -----------------------------------------------------------
 
     def flat(self):
         """Per-PC entries, hottest first."""
         entries = [
-            ProfileEntry(pc, count, self._cost.get(pc, 0),
-                         self._source_map.get(pc))
-            for pc, count in self._count.items()
+            ProfileEntry(pc, count, cycles, self._source_map.get(pc))
+            for pc, (count, cycles) in self._records.items()
         ]
         entries.sort(key=lambda e: (-e.cycles, e.key))
         return entries
@@ -106,7 +124,8 @@ class HotPathProfiler:
         total = self.total_cycles or 1
         header = "source line" if lines else "pc"
         out = ["hot paths (%d instructions profiled, %d cycles)"
-               % (sum(self._count.values()), self.total_cycles),
+               % (sum(r[0] for r in self._records.values()),
+                  self.total_cycles),
                "  %%cyc       cycles        count  %s" % header]
         for entry in entries[:top]:
             if lines:
@@ -130,7 +149,7 @@ class HotPathProfiler:
             flat, lines = flat[:top], lines[:top]
         return {
             "total_cycles": self.total_cycles,
-            "instructions": sum(self._count.values()),
+            "instructions": sum(r[0] for r in self._records.values()),
             "flat": [entry.to_dict() for entry in flat],
             "by_line": [entry.to_dict() for entry in lines],
         }

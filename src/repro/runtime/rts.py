@@ -254,7 +254,15 @@ class RuntimeSystem:
 
     def has_work(self, cpu):
         """True if the processor has a loaded thread to execute."""
-        return any(frame.occupied for frame in cpu.frames)
+        frames = cpu.frames
+        # The active frame is occupied for the entire life of a running
+        # thread — check it first so the per-step call rarely scans.
+        if frames[cpu.fp].thread is not None:
+            return True
+        for frame in frames:
+            if frame.thread is not None:
+                return True
+        return False
 
     def on_idle(self, cpu):
         """Idle processor looks for work (paper Section 3.2: 'the new
@@ -270,7 +278,7 @@ class RuntimeSystem:
         if cpu.ipi_queue:
             # Even an idle processor must take preemptive interrupts
             # (Section 3.4: IPIs are an alternative to polling).
-            message = cpu.ipi_queue.pop(0)
+            message = cpu.ipi_queue.popleft()
             self.deliver_ipi(cpu, message)
             cpu.charge(10, "trap")
             return True

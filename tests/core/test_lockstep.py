@@ -1,0 +1,246 @@
+"""Differential lockstep harness: fast path vs. reference interpreter.
+
+Every scenario runs twice from one compile — ``fastpath=True``
+(predecoded dispatch, superblock fusion, fast event loops) against
+``fastpath=False`` (the original decode + if-chain interpreter on the
+per-instruction heapq loop) — and the two runs must agree on everything
+a program or an observer could see: the result value, the final machine
+clock, every per-CPU cycle-category counter (byte-identical
+``snapshot()`` dicts), the architectural register state, and printed
+output.
+
+The fallback matrix then checks the dormant-hook contract from the
+other side: attaching any single observability hook must push the
+machine onto the reference loop *without changing a single cycle*.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import workloads
+from repro.lang.compiler import compile_source
+from repro.machine.alewife import AlewifeMachine
+from repro.machine.config import MachineConfig
+from repro.obs import Observation
+from repro.obs.events import EventBus
+from repro.obs.txn import TransactionTracer
+from tests.integration.test_differential import future_programs, programs
+
+
+def _build(compiled, config, fastpath):
+    if config.lazy_futures != compiled.wants_lazy_scheduling:
+        config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
+    return AlewifeMachine(compiled.program, config, fastpath=fastpath)
+
+
+def _run_pair(source, mode, config, args):
+    """One compile, two runs; returns ((machine, result), (machine, result))."""
+    compiled = compile_source(source, mode=mode)
+    pair = []
+    for fastpath in (True, False):
+        machine = _build(compiled, config, fastpath)
+        result = machine.run(entry=compiled.entry_label("main"), args=args)
+        pair.append((machine, result))
+    return pair
+
+
+def _assert_lockstep(fast, reference):
+    fast_machine, fast_result = fast
+    ref_machine, ref_result = reference
+    assert fast_machine.loop_used in ("fast-sequential", "fast-sliced")
+    assert ref_machine.loop_used == "reference"
+    assert fast_result.value == ref_result.value
+    assert fast_result.cycles == ref_result.cycles
+    assert fast_result.output == ref_result.output
+    for fast_cpu, ref_cpu in zip(fast_machine.cpus, ref_machine.cpus):
+        assert fast_cpu.cycles == ref_cpu.cycles
+        assert fast_cpu.stats.snapshot() == ref_cpu.stats.snapshot()
+        assert fast_cpu.stats.total_cycles == fast_cpu.cycles
+        assert fast_cpu.globals == ref_cpu.globals
+        assert fast_cpu.fp == ref_cpu.fp
+        for fast_frame, ref_frame in zip(fast_cpu.frames, ref_cpu.frames):
+            assert fast_frame.regs == ref_frame.regs
+            assert fast_frame.pc == ref_frame.pc
+            assert fast_frame.npc == ref_frame.npc
+            # Thread ids come from a process-global counter (two
+            # machines in one process never see the same tids), so the
+            # PSR comparison masks the tid field out.
+            assert (fast_frame.psr.value & ~0xFFFF
+                    == ref_frame.psr.value & ~0xFFFF)
+
+
+class TestBenchmarkLockstep:
+    """The Mul-T benchmarks, across every execution configuration."""
+
+    def test_fib_sequential(self):
+        module = workloads.get("fib")
+        pair = _run_pair(module.source(), "sequential",
+                         MachineConfig(num_processors=1), (10,))
+        assert pair[0][1].value == module.reference(10)
+        _assert_lockstep(*pair)
+
+    def test_fib_eager_p2(self):
+        module = workloads.get("fib")
+        pair = _run_pair(module.source(), "eager",
+                         MachineConfig(num_processors=2), (10,))
+        assert pair[0][1].value == module.reference(10)
+        _assert_lockstep(*pair)
+
+    def test_fib_lazy_p2(self):
+        module = workloads.get("fib")
+        pair = _run_pair(module.source(), "lazy",
+                         MachineConfig(num_processors=2), (9,))
+        assert pair[0][1].value == module.reference(9)
+        _assert_lockstep(*pair)
+
+    def test_fib_coherent_p4(self):
+        module = workloads.get("fib")
+        pair = _run_pair(
+            module.source(), "eager",
+            MachineConfig(num_processors=4, memory_mode="coherent"), (9,))
+        assert pair[0][1].value == module.reference(9)
+        _assert_lockstep(*pair)
+
+    def test_queens_eager_p4(self):
+        module = workloads.get("queens")
+        pair = _run_pair(module.source(), "eager",
+                         MachineConfig(num_processors=4), (4,))
+        assert pair[0][1].value == module.reference(4)
+        _assert_lockstep(*pair)
+
+    def test_queens_sequential(self):
+        module = workloads.get("queens")
+        pair = _run_pair(module.source(), "sequential",
+                         MachineConfig(num_processors=1), (4,))
+        assert pair[0][1].value == module.reference(4)
+        _assert_lockstep(*pair)
+
+    def test_fast_sequential_actually_fuses(self):
+        """The fast run must exercise the superblock executor, or this
+        whole file proves nothing about it."""
+        module = workloads.get("fib")
+        compiled = compile_source(module.source(), mode="sequential")
+        machine = _build(compiled, MachineConfig(num_processors=1), True)
+        machine.run(entry=compiled.entry_label("main"), args=(10,))
+        assert machine.loop_used == "fast-sequential"
+        assert machine.cpus[0].superblocks > 0
+
+
+_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRandomizedLockstep:
+    """Hypothesis-generated programs through both interpreters."""
+
+    @_SETTINGS
+    @given(programs())
+    def test_random_sequential(self, source):
+        pair = _run_pair(source, "sequential",
+                         MachineConfig(num_processors=1), (3, 4))
+        _assert_lockstep(*pair)
+
+    @_SETTINGS
+    @given(future_programs())
+    def test_random_futures_eager_p2(self, source):
+        pair = _run_pair(source, "eager",
+                         MachineConfig(num_processors=2), (3, 4))
+        _assert_lockstep(*pair)
+
+
+# -- the fallback matrix -----------------------------------------------------
+
+def _dormant_baseline(compiled, config, args):
+    machine = _build(compiled, config, True)
+    result = machine.run(entry=compiled.entry_label("main"), args=args)
+    assert machine.loop_used in ("fast-sequential", "fast-sliced")
+    return machine, result
+
+
+def _attach_trace(machine):
+    for cpu in machine.cpus:
+        cpu.trace_hook = lambda cpu, pc, instr: None
+
+
+def _attach_profile(machine):
+    for cpu in machine.cpus:
+        cpu.profile_hook = lambda cpu, pc, instr: None
+
+
+def _attach_events(machine):
+    bus = EventBus()
+    for cpu in machine.cpus:
+        cpu.events = bus
+
+
+def _attach_txn(machine):
+    tracer = TransactionTracer()
+    for cpu in machine.cpus:
+        cpu.txn = tracer
+
+
+def _attach_machine_events(machine):
+    machine.events = EventBus()
+
+
+class TestFallbackMatrix:
+    """Each hook, attached alone, forces the reference loop — and the
+    reference loop must be cycle-identical to the dormant fast run."""
+
+    ATTACHERS = {
+        "trace_hook": _attach_trace,
+        "profile_hook": _attach_profile,
+        "cpu_events": _attach_events,
+        "cpu_txn": _attach_txn,
+        "machine_events": _attach_machine_events,
+    }
+
+    @pytest.mark.parametrize("hook", sorted(ATTACHERS))
+    def test_single_hook_forces_reference(self, hook):
+        module = workloads.get("fib")
+        compiled = compile_source(module.source(), mode="eager")
+        config = MachineConfig(num_processors=2)
+        _, dormant = _dormant_baseline(compiled, config, (9,))
+
+        machine = _build(compiled, config, True)
+        self.ATTACHERS[hook](machine)
+        result = machine.run(entry=compiled.entry_label("main"), args=(9,))
+        assert machine.loop_used == "reference"
+        assert machine.cpus[0].superblocks == 0
+        assert result.value == dormant.value
+        assert result.cycles == dormant.cycles
+        for cpu, dormant_row in zip(machine.cpus, dormant.stats.per_cpu):
+            assert cpu.stats.snapshot() == dormant_row
+
+    def test_lifetime_observation_conserves(self):
+        """PR 4 conservation: a threads=True observation (which wires
+        the lifetime accountant, and therefore the reference loop) must
+        balance its ledger and agree with the dormant run's clock."""
+        module = workloads.get("fib")
+        compiled = compile_source(module.source(), mode="eager")
+        config = MachineConfig(num_processors=2)
+        _, dormant = _dormant_baseline(compiled, config, (9,))
+
+        machine = _build(compiled, config, True)
+        obs = Observation(threads=True, window=4096)
+        obs.attach(machine)
+        result = machine.run(entry=compiled.entry_label("main"), args=(9,))
+        assert machine.loop_used == "reference"
+        assert result.cycles == dormant.cycles
+        assert result.value == dormant.value
+        assert obs.lifetime.finalize(machine).check()["exact"]
+
+    def test_sampler_forces_reference(self):
+        module = workloads.get("fib")
+        compiled = compile_source(module.source(), mode="eager")
+        config = MachineConfig(num_processors=2)
+        _, dormant = _dormant_baseline(compiled, config, (9,))
+
+        machine = _build(compiled, config, True)
+        obs = Observation(events=False, window=512)
+        obs.attach(machine)
+        result = machine.run(entry=compiled.entry_label("main"), args=(9,))
+        assert machine.loop_used == "reference"
+        assert result.cycles == dormant.cycles

@@ -430,7 +430,7 @@ class TestIPI:
             TrapKind.IPI, lambda c, f, t: TrapAction.RETRY)
         cpu.post_ipi("later")
         run_to_halt(cpu)
-        assert cpu.ipi_queue == ["later"]
+        assert list(cpu.ipi_queue) == ["later"]
 
 
 class TestPSRInstructions:

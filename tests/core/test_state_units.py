@@ -154,9 +154,18 @@ class TestFPU:
 class TestProcessorStats:
     def test_utilization(self):
         stats = ProcessorStats()
-        stats.useful = 80
-        stats.idle = 20
+        stats._charge["useful"](80)
+        stats._charge["idle"](20)
         assert stats.utilization() == 0.8
+
+    def test_total_cycles_is_incremental(self):
+        stats = ProcessorStats()
+        for i, name in enumerate(("useful", "stall", "trap",
+                                  "switch", "spin", "idle")):
+            stats._charge[name](i + 1)
+        categorical = (stats.useful + stats.stall + stats.trap
+                       + stats.switch + stats.spin + stats.idle)
+        assert stats.total_cycles == categorical == 21
 
     def test_snapshot_keys(self):
         snapshot = ProcessorStats().snapshot()

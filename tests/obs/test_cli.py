@@ -126,6 +126,23 @@ class TestBenchCommand:
                                      str(tmp_path / "nope.json"))
         assert problems and "cannot read" in problems[0]
 
+    def test_bench_check_skips_incomparable_payloads(self, tmp_path):
+        """quick or --no-fastpath payloads measure different workloads:
+        the rate gate must note the mismatch, not cry regression."""
+        from repro.harness.bench import check_baseline
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"cycles_per_sec": 1e12, "quick": False, "fastpath": True}))
+        for payload in (
+            {"cycles_per_sec": 1000.0, "traced_ratio": 1.0, "quick": True,
+             "fastpath": True},
+            {"cycles_per_sec": 1000.0, "traced_ratio": 1.0, "quick": False,
+             "fastpath": False},
+        ):
+            problems, notes = check_baseline(payload, str(baseline))
+            assert not problems
+            assert notes and "not comparable" in notes[0]
+
 
 class TestExplainCommand:
     def test_explain_text_report(self, fib_program, capsys):
