@@ -6,6 +6,17 @@ Subcommands::
                            [--encore] [--coherent] [--args 10 ...]
                            [--json] [--profile] [--timeline]
                            [--events out.json] [--txn out.json] [--window N]
+                           [--watchdog] [--watchdog-interval N]
+                           [--postmortem out.json]
+                           # --watchdog: stop a hung run with a typed
+                           # HangDetected post-mortem (wait-for graph,
+                           # last events, disassembly) instead of
+                           # burning --max-cycles; exit code 3
+    april monitor PROGRAM.mult [-p CPUS] [--mode ...] [--coherent]
+                               [--args 10 ...] [--script FILE]
+                               # interactive machine debugger: step,
+                               # breakpoints, full/empty watchpoints,
+                               # pokes, thread table, disassembly
     april explain PROGRAM.mult [run options] [--json]
                                # why is speedup sublinear: per-thread cycle
                                # accounting + ranked critical-path report
@@ -34,6 +45,7 @@ import argparse
 import json
 import sys
 
+from repro.errors import HangDetected
 from repro.harness.figure5 import render_report
 from repro.harness.table3 import SYSTEMS, render_table3, run_table3
 from repro.isa.assembler import assemble
@@ -75,18 +87,48 @@ def _build_observation(args, force=False):
     )
 
 
+def _build_watchdog(args):
+    """A Watchdog (with its flight recorder) when --watchdog asked."""
+    if not getattr(args, "watchdog", False):
+        return None
+    from repro.obs.flight import Watchdog
+    return Watchdog(interval=getattr(args, "watchdog_interval", 2048))
+
+
 def _run_observed(args, force_obs=False):
     with open(args.program) as handle:
         source = handle.read()
     obs = _build_observation(args, force=force_obs)
     result = run_mult(source, mode=args.mode, args=tuple(args.args),
                       software_checks=args.encore,
-                      config=_build_config(args), observe=obs)
+                      config=_build_config(args), observe=obs,
+                      watchdog=_build_watchdog(args))
     return result, obs
 
 
+def _report_hang(exc, args):
+    """Render a HangDetected post-mortem; exit code 3 distinguishes a
+    detected hang from both success (0) and ordinary errors (1/2)."""
+    print(exc.render())
+    out = getattr(args, "postmortem", None)
+    if out:
+        try:
+            with open(out, "w") as handle:
+                json.dump(exc.postmortem, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as err:
+            print("error: cannot write %s: %s" % (out, err.strerror),
+                  file=sys.stderr)
+            return 1
+        print("wrote post-mortem JSON to %s" % out, file=sys.stderr)
+    return 3
+
+
 def _cmd_run(args):
-    result, obs = _run_observed(args)
+    try:
+        result, obs = _run_observed(args)
+    except HangDetected as exc:
+        return _report_hang(exc, args)
 
     if args.json:
         payload = {
@@ -249,6 +291,28 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_monitor(args):
+    """The interactive machine debugger (``april monitor``)."""
+    from repro.lang.run import build_mult_machine
+    from repro.obs.monitor import Monitor
+
+    with open(args.program) as handle:
+        source = handle.read()
+    machine, compiled = build_mult_machine(
+        source, mode=args.mode, software_checks=args.encore,
+        config=_build_config(args))
+    monitor = Monitor(machine, entry=compiled.entry_label("main"),
+                      args=tuple(args.args), echo=bool(args.script),
+                      max_cycles=args.max_cycles)
+    if args.script:
+        with open(args.script) as handle:
+            lines = handle.read().splitlines()
+        monitor.repl(lines)
+    else:
+        monitor.repl()
+    return 0
+
+
 def _cmd_asm(args):
     with open(args.program) as handle:
         program = assemble(handle.read())
@@ -377,7 +441,36 @@ def build_parser():
                          help="hot-path profile with source attribution")
     run_cmd.add_argument("--timeline", action="store_true",
                          help="per-node utilization timeline")
+    run_cmd.add_argument("--watchdog", action="store_true",
+                         help="attach the hang watchdog + flight recorder: "
+                              "stop deadlock/livelock with a post-mortem "
+                              "(exit code 3) instead of burning cycles")
+    run_cmd.add_argument("--watchdog-interval", type=int, default=2048,
+                         metavar="N", help="cycles between watchdog checks "
+                                           "(default 2048)")
+    run_cmd.add_argument("--postmortem", metavar="FILE",
+                         help="with --watchdog: also write the post-mortem "
+                              "as JSON on a detected hang")
     run_cmd.set_defaults(func=_cmd_run)
+
+    mon_cmd = sub.add_parser(
+        "monitor", help="interactive machine debugger: step, breakpoints, "
+                        "full/empty watchpoints, pokes, disassembly")
+    mon_cmd.add_argument("program")
+    mon_cmd.add_argument("-p", "--processors", type=int, default=1)
+    mon_cmd.add_argument("--mode", default="eager",
+                         choices=("eager", "lazy", "sequential"))
+    mon_cmd.add_argument("--encore", action="store_true",
+                         help="Encore Multimax baseline configuration")
+    mon_cmd.add_argument("--coherent", action="store_true",
+                         help="full caches + directory + network")
+    mon_cmd.add_argument("--args", type=int, nargs="*", default=[],
+                         help="fixnum arguments passed to (main ...)")
+    mon_cmd.add_argument("--script", metavar="FILE",
+                         help="run monitor commands from FILE (echoed; "
+                              "deterministic transcript) instead of stdin")
+    mon_cmd.add_argument("--max-cycles", type=int, default=200_000_000)
+    mon_cmd.set_defaults(func=_cmd_monitor)
 
     explain_cmd = sub.add_parser(
         "explain", help="explain why speedup is sublinear: per-thread "

@@ -383,6 +383,8 @@ def _factory_load(instr):
                 regs[rd] = value
             else:
                 cpu.globals[gd] = value
+        if cpu.watch_hook is not None:
+            cpu.watch_hook(cpu, pc, address, True, outcome)
         return npc, npc + 4
 
     return ExecEntry(instr, run)
@@ -428,6 +430,8 @@ def _factory_store(instr):
             psr.value |= FE_BIT
         else:
             psr.value &= ~FE_BIT
+        if cpu.watch_hook is not None:
+            cpu.watch_hook(cpu, pc, address, False, outcome)
         return npc, npc + 4
 
     return ExecEntry(instr, run)

@@ -184,6 +184,11 @@ class Processor:
         self.profile_hook = None
         #: Optional per-trap callback(cpu, frame, trap) at trap entry.
         self.trap_hook = None
+        #: Optional data-access callback(cpu, pc, address, is_load,
+        #: outcome) fired after every *successful* load/store (both
+        #: interpreters).  The monitor's watchpoints attribute memory
+        #: and full/empty-bit transitions to the storing pc through it.
+        self.watch_hook = None
         #: Optional :class:`repro.obs.events.EventBus` (None = no-op hooks).
         self.events = None
         #: Optional transaction tracer (see :mod:`repro.obs.txn`).
@@ -585,6 +590,8 @@ class Processor:
         frame.psr.fe = outcome.fe_full
         if is_load:
             self.write_reg(instr.rd, outcome.value, frame)
+        if self.watch_hook is not None:
+            self.watch_hook(self, pc, address, is_load, outcome)
 
     def _execute_frame_op(self, frame, instr, npc):
         op = instr.op

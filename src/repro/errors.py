@@ -53,6 +53,41 @@ class SimulationError(ReproError):
     """Raised when a simulation run fails (deadlock, cycle limit, ...)."""
 
 
+class DeadlockError(SimulationError):
+    """Raised when no processor can ever make progress again: no loaded
+    or ready threads anywhere, yet threads remain blocked on futures."""
+
+
+class HangDetected(SimulationError):
+    """A hang diagnosed by the watchdog (see :mod:`repro.obs.flight`).
+
+    Carries the machine-readable post-mortem the watchdog assembled at
+    detection time: the wait-for graph over future cells, per-node
+    flight-recorder tails, register/PSR snapshots, and disassembly
+    around each blocked pc.
+
+    Attributes:
+        kind: ``"deadlock"`` (every thread blocked on an unresolved
+            future) or ``"livelock"`` (spin-storm: synchronization traps
+            re-entering with no forward progress).
+        cycle: simulated cycle at detection.
+        reason: one-line human explanation.
+        postmortem: the JSON-ready post-mortem dict.
+    """
+
+    def __init__(self, kind, cycle, reason, postmortem=None):
+        super().__init__("%s at cycle %d: %s" % (kind, cycle, reason))
+        self.kind = kind
+        self.cycle = cycle
+        self.reason = reason
+        self.postmortem = postmortem if postmortem is not None else {}
+
+    def render(self):
+        """The human-readable post-mortem report."""
+        from repro.obs.flight import render_postmortem
+        return render_postmortem(self.postmortem)
+
+
 class ConfigError(ReproError):
     """Raised for inconsistent machine or model configuration."""
 

@@ -49,3 +49,42 @@ def disassemble(words, base=0, labels=None):
             lines.append("%#06x  %s:" % (address, name))
         lines.append("%#06x      %s" % (address, disassemble_word(word)))
     return "\n".join(lines)
+
+
+def disassemble_around(read_word, pc, before=3, after=3, labels=None):
+    """Disassemble a window of words around ``pc`` with a ``=>`` marker.
+
+    The window is the word at ``pc`` plus ``before`` words preceding it
+    and ``after`` words following it — the listing the monitor's
+    ``disas`` command and the watchdog post-mortem show at each blocked
+    or active pc.
+
+    Args:
+        read_word: callable ``(byte address) -> word``; addresses the
+            backing store cannot serve (it may raise) are skipped.
+        pc: byte address the marker points at.
+        before/after: window half-widths, in words.
+        labels: optional label name -> address mapping, as in
+            :func:`disassemble`.
+
+    Returns the newline-joined listing (possibly empty).
+    """
+    by_address = {}
+    if labels:
+        for name, address in labels.items():
+            by_address.setdefault(address, []).append(name)
+    start = pc - 4 * before
+    if start < 0:
+        start = 0
+    lines = []
+    for address in range(start, pc + 4 * after + 4, 4):
+        try:
+            word = read_word(address)
+        except Exception:
+            continue
+        for name in sorted(by_address.get(address, ())):
+            lines.append("%#06x  %s:" % (address, name))
+        marker = "=>" if address == pc else "  "
+        lines.append("%#06x   %s %s" % (address, marker,
+                                        disassemble_word(word)))
+    return "\n".join(lines)

@@ -35,6 +35,15 @@ MAX_ARGS = 4
 _label_counter = itertools.count(1)
 
 
+def reset_labels():
+    """Restart the label gensym (compile_source calls this so a given
+    source always produces the same label names — recompiling in one
+    process must not shift every ``fn_*_N`` suffix, or monitor scripts
+    and saved breakpoints would dangle)."""
+    global _label_counter
+    _label_counter = itertools.count(1)
+
+
 def _mangle(name):
     """Turn a Mul-T identifier into an assembler-safe label chunk."""
     out = []

@@ -79,6 +79,13 @@ def compile_source(source, mode="eager", software_checks=False, base=0,
     """
     if mode not in MODES:
         raise CompilerError("unknown compilation mode %r" % mode)
+    # Deterministic label names: the same source always compiles to the
+    # same labels, even on recompilation within one process (monitor
+    # breakpoint scripts and post-mortem listings depend on this).
+    from repro.lang import analyzer as _analyzer_mod
+    from repro.lang import codegen as _codegen_mod
+    _analyzer_mod.reset_labels()
+    _codegen_mod.reset_labels()
     full_source = (PRELUDE + source) if include_prelude else source
     analyzer = Analyzer(strip_futures=(mode == "sequential"),
                         lazy_futures=(mode == "lazy"))

@@ -18,7 +18,7 @@ Two memory modes (matching the paper's methodology):
 import heapq
 
 from repro.core.processor import Processor
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimulationError
 from repro.isa.encoding import DecodeCache
 from repro.machine.config import MachineConfig
 from repro.machine.stats import MachineStats
@@ -68,6 +68,10 @@ class AlewifeMachine:
         #: ``Observation`` wires these; ``None`` keeps the fast path.
         self.sampler = None
         self.events = None
+        #: Optional :class:`repro.obs.flight.Watchdog`; every loop polls
+        #: its ``next_check_at`` and :meth:`run` converts the run-time
+        #: system's deadlock abort into a typed ``HangDetected``.
+        self.watchdog = None
         decoder = DecodeCache()
 
         self.cpus = []
@@ -104,13 +108,29 @@ class AlewifeMachine:
         loops are only legal when nothing samples, traces, profiles, or
         accounts per instruction/charge, so batching cannot change what
         an observer would have seen.
+
+        One refinement: an event bus marked ``coarse=True`` (the flight
+        recorder's) does not pin the reference loop.  Every event kind
+        is emitted outside fused superblocks — traps, scheduling,
+        futures, network, memory transactions — and their cycle stamps
+        are identical on the fast and reference paths (the lockstep
+        harness proves the schedules equal), so a coarse-only consumer
+        observes the same stream either way.  A default
+        (``coarse=False``) bus still forces the reference loop, as
+        before.
         """
-        if self.sampler is not None or self.events is not None:
+        if self.sampler is not None:
+            return False
+        events = self.events
+        if events is not None and not events.coarse:
             return False
         for cpu in self.cpus:
             if (cpu.trace_hook is not None or cpu.profile_hook is not None
-                    or cpu.events is not None or cpu.txn is not None
-                    or cpu.lifetime is not None):
+                    or cpu.txn is not None or cpu.lifetime is not None
+                    or cpu.watch_hook is not None):
+                return False
+            events = cpu.events
+            if events is not None and not events.coarse:
                 return False
         return True
 
@@ -122,16 +142,28 @@ class AlewifeMachine:
         runtime = self.runtime
         runtime.spawn_main(entry, args)
 
-        if self.fastpath and self._hooks_dormant():
-            if len(self.cpus) == 1:
-                self.loop_used = "fast-sequential"
-                self._run_fast_sequential(max_cycles)
+        if self.watchdog is not None:
+            self.watchdog.next_check_at = self.watchdog.interval
+        try:
+            if self.fastpath and self._hooks_dormant():
+                if len(self.cpus) == 1:
+                    self.loop_used = "fast-sequential"
+                    self._run_fast_sequential(max_cycles)
+                else:
+                    self.loop_used = "fast-sliced"
+                    self._run_fast_sliced(max_cycles)
             else:
-                self.loop_used = "fast-sliced"
-                self._run_fast_sliced(max_cycles)
-        else:
-            self.loop_used = "reference"
-            self._run_reference(max_cycles)
+                self.loop_used = "reference"
+                self._run_reference(max_cycles)
+        except DeadlockError as exc:
+            # The idle-streak deadlock abort fires long before the
+            # watchdog's periodic window; with a watchdog attached it
+            # becomes the same typed post-mortem result.
+            if self.watchdog is not None:
+                self.time = max(self.time,
+                                max(cpu.cycles for cpu in self.cpus))
+                raise self.watchdog.on_deadlock(self.time, exc) from exc
+            raise
 
         self.time = max(self.time, max(cpu.cycles for cpu in self.cpus))
         if self.sampler is not None:
@@ -164,6 +196,7 @@ class AlewifeMachine:
         runtime = self.runtime
         cpus = self.cpus
         sampler = self.sampler
+        watchdog = self.watchdog
         fabric = self.fabric
         has_work = runtime.has_work
         on_idle = runtime.on_idle
@@ -198,6 +231,9 @@ class AlewifeMachine:
                 if (sampler is not None
                         and self.time >= sampler.next_sample_at):
                     sampler.sample(self.time)
+                if (watchdog is not None
+                        and self.time >= watchdog.next_check_at):
+                    watchdog.check(self.time)
                 if self.time > max_cycles:
                     raise self._cycle_limit_error(max_cycles)
 
@@ -238,6 +274,7 @@ class AlewifeMachine:
         step_block = cpu.step_block
         has_work = runtime.has_work
         on_idle = runtime.on_idle
+        watchdog = self.watchdog
         no_budget_limit = 1 << 62
         idle_streak = 0
         while not runtime.done:
@@ -253,6 +290,8 @@ class AlewifeMachine:
                 idle_streak += 1
                 if idle_streak > 4:
                     runtime.check_deadlock()
+            if watchdog is not None and cpu.cycles >= watchdog.next_check_at:
+                watchdog.check(cpu.cycles)
             if cpu.cycles > max_cycles:
                 self.time = cpu.cycles
                 raise self._cycle_limit_error(max_cycles)
@@ -277,6 +316,7 @@ class AlewifeMachine:
         runtime = self.runtime
         cpus = self.cpus
         fabric = self.fabric
+        watchdog = self.watchdog
         has_work = runtime.has_work
         on_idle = runtime.on_idle
         heappush = heapq.heappush
@@ -300,6 +340,10 @@ class AlewifeMachine:
                 continue
             if when > self.time:
                 self.time = when
+            if watchdog is not None and self.time >= watchdog.next_check_at:
+                # Slices are bounded by the next queue head, so the
+                # check lags `interval` by at most one slice.
+                watchdog.check(self.time)
             if self.time > max_cycles:
                 raise self._cycle_limit_error(max_cycles)
             if fabric is not None:
@@ -350,6 +394,143 @@ class AlewifeMachine:
     def stats(self):
         """Current :class:`MachineStats` snapshot."""
         return MachineStats(self)
+
+    def stepper(self, entry="main", args=(), max_cycles=200_000_000):
+        """A resumable :class:`MachineStepper` for this machine.
+
+        Spawns the root thread immediately; the caller then advances
+        the run one scheduling iteration at a time (the monitor's
+        single-step / run-until substrate).  Use *either* :meth:`run`
+        or a stepper on a given machine, never both.
+        """
+        return MachineStepper(self, entry=entry, args=args,
+                              max_cycles=max_cycles)
+
+
+class StepInfo:
+    """What one :meth:`MachineStepper.step_machine` iteration did."""
+
+    __slots__ = ("node", "pc", "executed", "stopped")
+
+    def __init__(self, node, pc, executed, stopped):
+        #: Node index of the processor the iteration arbitrated to.
+        self.node = node
+        #: The active frame's pc before the iteration (None when idle).
+        self.pc = pc
+        #: True when one instruction (or trap) actually executed.
+        self.executed = executed
+        #: True when a guard stopped the iteration *before* executing;
+        #: the machine state is untouched and the same processor will
+        #: be re-arbitrated next call.
+        self.stopped = stopped
+
+
+class MachineStepper:
+    """Per-instruction, resumable driver over one machine run.
+
+    Replays exactly the :meth:`AlewifeMachine._run_reference` schedule
+    in its pre-pop-slicing form: pop the earliest processor, run one
+    iteration, re-push with a fresh sequence number.  (Pop slicing was
+    proven schedule-identical to that seed loop, so a stepper-driven
+    run executes the same interleaving as ``machine.run()`` — the
+    monitor observes the run it would have gotten, one step at a time.)
+
+    The heapq state persists across calls, which is what makes the run
+    *resumable*: breakpoint checks are a ``guard`` callable consulted
+    after arbitration but before execution; a guarded stop re-pushes
+    the popped entry unchanged (same sequence number), so stopping and
+    resuming cannot perturb tie-breaking.
+    """
+
+    def __init__(self, machine, entry="main", args=(),
+                 max_cycles=200_000_000):
+        self.machine = machine
+        self.runtime = machine.runtime
+        self.max_cycles = max_cycles
+        machine.loop_used = "stepper"
+        self.runtime.spawn_main(entry, args)
+        self._queue = []
+        self._seq = 0
+        for index, cpu in enumerate(machine.cpus):
+            heapq.heappush(self._queue, (cpu.cycles, self._seq, index))
+            self._seq += 1
+        self._idle_streak = 0
+        self._idle_limit = 4 * len(machine.cpus)
+
+    @property
+    def done(self):
+        return self.runtime.done
+
+    @property
+    def time(self):
+        return self.machine.time
+
+    def result(self):
+        """The :class:`MachineResult` once the run is done, else None."""
+        if not self.runtime.done:
+            return None
+        machine = self.machine
+        machine.time = max(machine.time,
+                           max(cpu.cycles for cpu in machine.cpus))
+        return MachineResult(machine, self.runtime.result)
+
+    def step_machine(self, guard=None):
+        """Advance the machine by one scheduling iteration.
+
+        Args:
+            guard: optional ``guard(cpu) -> bool`` consulted when the
+                arbitrated processor is about to execute an
+                instruction; returning True stops *before* executing
+                (breakpoints).  Idle iterations never consult it.
+
+        Returns a :class:`StepInfo`, or ``None`` once the run is done.
+        Raises :class:`SimulationError` on deadlock, cycle exhaustion,
+        or all processors halting.
+        """
+        machine = self.machine
+        runtime = self.runtime
+        while True:
+            if runtime.done:
+                return None
+            if not self._queue:
+                raise SimulationError(
+                    "all processors halted without a result")
+            entry = heapq.heappop(self._queue)
+            cpu = machine.cpus[entry[2]]
+            if not cpu.halted:
+                break
+        if cpu.cycles > machine.time:
+            machine.time = cpu.cycles
+        if machine.time > self.max_cycles:
+            heapq.heappush(self._queue, entry)
+            raise machine._cycle_limit_error(self.max_cycles)
+        if machine.fabric is not None:
+            machine.fabric.advance_to(machine.time)
+
+        index = entry[2]
+        pc = None
+        executed = False
+        if runtime.has_work(cpu):
+            pc = cpu.frames[cpu.fp].pc
+            if guard is not None and guard(cpu):
+                heapq.heappush(self._queue, entry)
+                return StepInfo(index, pc, executed=False, stopped=True)
+            cpu.step()
+            executed = True
+            self._idle_streak = 0
+        elif runtime.on_idle(cpu):
+            self._idle_streak = 0
+        else:
+            self._idle_streak += 1
+            if self._idle_streak > self._idle_limit:
+                # May raise DeadlockError; the machine is terminally
+                # stuck then, so losing this queue entry is harmless
+                # (any further stepping re-detects via another node).
+                runtime.check_deadlock()
+        if not cpu.halted:
+            heapq.heappush(self._queue, (cpu.cycles, self._seq, index))
+            self._seq += 1
+        return StepInfo(index, pc, executed=executed, stopped=False)
 
 
 def run_program(program, config=None, entry="main", args=(),

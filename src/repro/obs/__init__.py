@@ -21,7 +21,16 @@ built in:
 * the :class:`~repro.obs.lifetime.LifetimeAccountant` — per-virtual-
   thread cycle attribution with an exact conservation invariant, the
   substrate of the :mod:`repro.obs.critpath` causal critical-path
-  analyzer (``april explain``: *why* is speedup sublinear).
+  analyzer (``april explain``: *why* is speedup sublinear);
+* the :class:`~repro.obs.flight.FlightRecorder` and
+  :class:`~repro.obs.flight.Watchdog` — an always-on bounded ring of
+  coarse events per node plus a hang detector (deadlock + trap-storm
+  livelock) that stops the run with a post-mortem: wait-for graph over
+  future cells, last events, registers, and disassembly at each
+  blocked pc (``april run prog.mult --watchdog``);
+* the :class:`~repro.obs.monitor.Monitor` — the interactive machine
+  debugger behind ``april monitor``: breakpoints, full/empty
+  watchpoints, stepping, and state poking over a resumable stepper.
 
 The event stream exports to Chrome/Perfetto trace JSON
 (:mod:`repro.obs.perfetto`; open the file in ``ui.perfetto.dev``), and
@@ -43,9 +52,11 @@ From the shell: ``april run prog.mult --profile --events out.json
 """
 
 from repro.obs.critpath import CriticalPath
-from repro.obs.events import Event, EventBus, EventKind
+from repro.obs.events import Event, EventBus, EventKind, Subscription
+from repro.obs.flight import FlightRecorder, Watchdog, render_postmortem
 from repro.obs.hist import LatencyHistograms, Log2Histogram
 from repro.obs.lifetime import ConservationError, LifetimeAccountant
+from repro.obs.monitor import Monitor
 from repro.obs.perfetto import perfetto_trace
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import machine_report
@@ -59,14 +70,19 @@ __all__ = [
     "Event",
     "EventBus",
     "EventKind",
+    "FlightRecorder",
     "HotPathProfiler",
     "IntervalSampler",
     "LatencyHistograms",
     "LifetimeAccountant",
     "Log2Histogram",
+    "Monitor",
     "Observation",
+    "Subscription",
     "TransactionTracer",
     "TxnRecord",
+    "Watchdog",
     "machine_report",
     "perfetto_trace",
+    "render_postmortem",
 ]

@@ -76,16 +76,65 @@ class Event:
             self.cycle, self.node, self.kind.value, extras)
 
 
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`.
+
+    Calling :meth:`cancel` detaches the callback (idempotent), so
+    monitor/flight-recorder hooks never leak across runs.  Also usable
+    as a context manager: the subscription lives for the ``with`` body.
+    """
+
+    __slots__ = ("_bus", "_callback", "_kind", "active")
+
+    def __init__(self, bus, callback, kind):
+        self._bus = bus
+        self._callback = callback
+        self._kind = kind
+        self.active = True
+
+    def cancel(self):
+        """Detach the callback from the bus (safe to call twice)."""
+        if not self.active:
+            return
+        self.active = False
+        if self._kind is None:
+            self._bus._subscribers.remove(self._callback)
+        else:
+            callbacks = self._bus._kind_subscribers.get(self._kind)
+            if callbacks is not None:
+                callbacks.remove(self._callback)
+                if not callbacks:
+                    del self._bus._kind_subscribers[self._kind]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.cancel()
+        return False
+
+
 class EventBus:
     """Bounded ring of :class:`Event` records plus live subscribers.
 
     Args:
         capacity: ring size; oldest records are dropped past it.
             ``None`` keeps everything (tests, short runs).
+        coarse: declares that every consumer of this bus only needs the
+            coarse event grain (traps, context switches, scheduling,
+            futures, memory transactions — never per-instruction
+            observations).  All :class:`EventKind` emission sites *are*
+            coarse-grained and superblock fusion does not change their
+            cycle stamps, so the machine keeps its fast loops when the
+            only attached bus is a coarse one (the flight recorder's);
+            the default ``False`` preserves the conservative contract
+            that any attached bus pins the per-instruction reference
+            loop.
     """
 
-    def __init__(self, capacity=1_000_000):
+    def __init__(self, capacity=1_000_000, coarse=False):
         self.records = deque(maxlen=capacity)
+        self.coarse = coarse
         self.emitted = 0
         self._dropped = 0
         self._counts = {}
@@ -126,11 +175,18 @@ class EventBus:
                 callback(event)
 
     def subscribe(self, callback, kind=None):
-        """Call ``callback(event)`` on every event (or one kind only)."""
+        """Call ``callback(event)`` on every event (or one kind only).
+
+        Returns a :class:`Subscription`; call its :meth:`~Subscription.
+        cancel` (or use it as a context manager) to detach the callback.
+        If the same callback is subscribed twice, each cancel removes
+        one registration.
+        """
         if kind is None:
             self._subscribers.append(callback)
         else:
             self._kind_subscribers.setdefault(kind, []).append(callback)
+        return Subscription(self, callback, kind)
 
     # -- queries -----------------------------------------------------------
 

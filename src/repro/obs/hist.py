@@ -60,9 +60,18 @@ class Log2Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p):
-        """Upper bound of the bucket holding the p-th ranked sample."""
+        """Upper bound of the bucket holding the p-th ranked sample.
+
+        ``p`` must lie in ``(0, 100]`` (a 0th percentile has no ranked
+        sample to name); anything else raises :class:`ValueError`.
+        Returns ``None`` for an empty histogram — an explicit "no data"
+        rather than a fake 0-cycle latency.
+        """
+        if not 0 < p <= 100:
+            raise ValueError(
+                "percentile p must be in (0, 100], got %r" % (p,))
         if not self.count:
-            return 0
+            return None
         rank = max(1, -(-self.count * p // 100))   # ceil without floats
         seen = 0
         for index, bucket_count in enumerate(self.counts):

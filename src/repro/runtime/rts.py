@@ -12,7 +12,7 @@ handler execution, which subsumes those locks (see DESIGN.md).
 """
 
 from repro.core.psr import ET_BIT
-from repro.errors import RuntimeSystemError, SimulationError
+from repro.errors import DeadlockError, RuntimeSystemError
 from repro.isa import registers, tags
 from repro.obs.events import EventKind
 from repro.runtime.futures import FutureTable
@@ -412,7 +412,7 @@ class RuntimeSystem:
         if any(len(q) for q in self.lazy_queues):
             return
         blocked = self.futures.waiting_count()
-        raise SimulationError(
+        raise DeadlockError(
             "deadlock: no loaded or ready threads, %d blocked on futures"
             % blocked)
 

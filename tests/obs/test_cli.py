@@ -202,3 +202,55 @@ class TestReportThreadFlags:
         report = json.loads(capsys.readouterr().out)
         assert "threads" not in report
         assert "critical_path" not in report
+
+
+class TestWatchdogOption:
+    def test_deadlock_exits_3_with_postmortem(self, capsys, tmp_path):
+        pm_path = tmp_path / "hang.json"
+        code = main(["run", "examples/deadlock.mult", "-p", "2",
+                     "--watchdog", "--postmortem", str(pm_path)])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "== HANG DETECTED: deadlock" in captured.out
+        assert "wait-for cycle:" in captured.out
+        assert "disassembly:" in captured.out
+        assert "wrote post-mortem JSON" in captured.err
+        pm = json.loads(pm_path.read_text())
+        assert pm["kind"] == "deadlock"
+        assert pm["wait_for"]["cycles"]
+        assert pm["disassembly"]
+
+    def test_watchdog_quiet_on_healthy_run(self, fib_program, capsys):
+        code = main(["run", fib_program, "-p", "2", "--args", "8",
+                     "--watchdog", "--watchdog-interval", "512"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result: 21" in out
+        assert "HANG" not in out
+
+
+class TestMonitorCommand:
+    def test_scripted_session_transcript(self, fib_program, capsys,
+                                         tmp_path):
+        script = tmp_path / "session.script"
+        script.write_text("where\nstep 3\nthreads\nquit\n")
+        code = main(["monitor", fib_program, "--args", "5",
+                     "--script", str(script)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "april monitor:" in out
+        assert "(april) step 3" in out
+        assert out.count("(april)") == 4
+        assert "  main" in out
+
+    def test_shipped_fixture_is_deterministic(self, capsys):
+        """The committed CI fixture: two in-process runs, byte-equal
+        transcripts (the same check CI does across processes)."""
+        argv = ["monitor", "examples/fib.mult", "--args", "6",
+                "--script", "examples/monitor_fib.script"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "program finished: result 8" in first

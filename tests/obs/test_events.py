@@ -118,3 +118,48 @@ class TestDeterminism:
         assert counts.get("remote_miss", 0) > 0
         assert counts.get("net_send", 0) > 0
         assert _normalized(obs_a.bus) == _normalized(obs_b.bus)
+
+
+class TestSubscription:
+    """subscribe() returns a cancellable handle (satellite of the
+    flight-recorder PR: attach must be fully reversible)."""
+
+    def test_cancel_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append, kind=EventKind.TRAP_ENTER)
+        bus.emit(EventKind.TRAP_ENTER, 1, 0)
+        sub.cancel()
+        bus.emit(EventKind.TRAP_ENTER, 2, 0)
+        assert [e.cycle for e in seen] == [1]
+        assert not sub.active
+        sub.cancel()                        # idempotent
+        bus.emit(EventKind.TRAP_ENTER, 3, 0)
+        assert len(seen) == 1
+
+    def test_cancel_all_kinds_subscription(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append)
+        bus.emit(EventKind.NET_SEND, 1, 0)
+        sub.cancel()
+        bus.emit(EventKind.NET_SEND, 2, 0)
+        assert len(seen) == 1
+
+    def test_context_manager_detaches(self):
+        bus = EventBus()
+        seen = []
+        with bus.subscribe(seen.append, kind=EventKind.THREAD_WAKE) as sub:
+            bus.emit(EventKind.THREAD_WAKE, 1, 0)
+            assert sub.active
+        bus.emit(EventKind.THREAD_WAKE, 2, 0)
+        assert len(seen) == 1
+
+    def test_cancel_leaves_other_subscribers(self):
+        bus = EventBus()
+        keep, drop = [], []
+        bus.subscribe(keep.append, kind=EventKind.TRAP_ENTER)
+        sub = bus.subscribe(drop.append, kind=EventKind.TRAP_ENTER)
+        sub.cancel()
+        bus.emit(EventKind.TRAP_ENTER, 1, 0)
+        assert len(keep) == 1 and not drop

@@ -47,8 +47,30 @@ class TestLog2Histogram:
         assert hist.percentile(99) == 100
         assert hist.percentile(100) == 100
 
-    def test_percentile_of_empty_is_zero(self):
-        assert Log2Histogram().percentile(50) == 0
+    def test_percentile_of_empty_is_none(self):
+        """An empty histogram has no percentiles — None, not a made-up
+        zero that could be mistaken for a measured latency."""
+        hist = Log2Histogram()
+        for p in (1, 50, 99, 100):
+            assert hist.percentile(p) is None
+
+    def test_percentile_rejects_out_of_range_p(self):
+        import pytest
+        hist = Log2Histogram()
+        hist.record(10)
+        for bad in (0, -1, 101, 100.5):
+            with pytest.raises(ValueError):
+                hist.percentile(bad)
+        # The domain is (0, 100]: both ends behave (bucket upper bound
+        # clamps to the observed max).
+        assert hist.percentile(0.1) == 10
+        assert hist.percentile(100) == 10
+
+    def test_empty_to_dict_has_null_percentiles(self):
+        data = Log2Histogram().to_dict()
+        assert data["count"] == 0
+        assert data["p50"] is None
+        assert data["p99"] is None
 
     def test_to_dict_shape(self):
         hist = Log2Histogram()
