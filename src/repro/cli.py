@@ -32,6 +32,19 @@ Subcommands::
                   [--jobs N] [--no-cache] [--force]
     april sweep SPEC.json [--jobs N] [--no-cache] [--force] [--out FILE]
     april figure5
+    april serve [--socket PATH] [--tcp HOST:PORT] [--workers N]
+                [--queue-limit N] [--rate R] [--burst N] [--timeout S]
+                [--cache-dir DIR] [--no-cache] [--hot-entries N]
+                [--drain-timeout S] [--metrics-out FILE]
+                # long-running sweep service: NDJSON job specs over a
+                # unix socket, single-flight dedupe, shared result
+                # cache, backpressure + rate limiting, graceful
+                # SIGTERM drain, `metrics` op with p50/p90/p99
+    april loadgen [--socket PATH] [--tcp HOST:PORT] [--rate R]
+                  [--requests N] [--connections N] [--hot-ratio F]
+                  [--seed N] [--dedupe-burst N] [--json] [--out FILE]
+                  # spray a hot/cold job mix at a running server and
+                  # report achieved RPS, hit/dedupe ratios, latency
 
 The grid commands (``table3``, ``speedup``, ``sweep``) run through the
 :mod:`repro.exp` experiment engine: ``--jobs N`` fans cells out to N
@@ -390,6 +403,107 @@ def _cmd_figure5(args):
     return 0
 
 
+def _cmd_serve(args):
+    """The long-running sweep service (``april serve``)."""
+    import asyncio
+    import signal
+
+    from repro.errors import ServeError
+    from repro.serve.server import build_server
+
+    async def _main():
+        try:
+            server = build_server(args)
+        except ServeError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        await server.start()
+        where = []
+        if args.socket:
+            where.append("unix:%s" % args.socket)
+        if args.tcp:
+            where.append("tcp:%s" % args.tcp)
+        print("april serve: listening on %s (%d workers, queue limit %d)"
+              % (", ".join(where), args.workers, args.queue_limit),
+              file=sys.stderr)
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("april serve: draining...", file=sys.stderr)
+        leftover = await server.stop(drain_timeout_s=args.drain_timeout)
+        snapshot = server.metrics_snapshot()
+        if args.metrics_out:
+            try:
+                with open(args.metrics_out, "w") as handle:
+                    json.dump(snapshot, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            except OSError as exc:
+                print("error: cannot write %s: %s"
+                      % (args.metrics_out, exc.strerror), file=sys.stderr)
+                return 1
+            print("wrote final metrics to %s" % args.metrics_out,
+                  file=sys.stderr)
+        counters = snapshot["counters"]
+        print("april serve: drained (%d abandoned): %d requests, "
+              "%d executed, %d cache hits, %d deduped, %d failed"
+              % (leftover, counters["requests"], counters["executed"],
+                 counters["cache_hits"], counters["deduped"],
+                 counters["failed"]), file=sys.stderr)
+        return 0
+
+    return asyncio.run(_main())
+
+
+def _cmd_loadgen(args):
+    """The traffic harness (``april loadgen``)."""
+    import asyncio
+
+    from repro.serve.loadgen import render_report as render_loadgen
+    from repro.serve.loadgen import run_loadgen
+
+    host = port = None
+    socket_path = args.socket
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print("error: --tcp wants HOST:PORT, got %r" % args.tcp,
+                  file=sys.stderr)
+            return 2
+        socket_path = None
+
+    try:
+        report = asyncio.run(run_loadgen(
+            socket_path=socket_path, host=host, port=port,
+            rate=args.rate, requests=args.requests,
+            connections=args.connections, hot_ratio=args.hot_ratio,
+            seed=args.seed, nonce=args.nonce, program=args.program,
+            burst=args.dedupe_burst))
+    except (ConnectionRefusedError, FileNotFoundError) as exc:
+        print("error: cannot reach server: %s" % exc, file=sys.stderr)
+        return 1
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print("error: cannot write %s: %s" % (args.out, exc.strerror),
+                  file=sys.stderr)
+            return 1
+        print("wrote loadgen report to %s" % args.out, file=sys.stderr)
+    if args.json and not args.out:
+        print(text)
+    else:
+        print(render_loadgen(report))
+    return 0 if report["statuses"]["error"] == 0 else 1
+
+
 def _add_machine_options(cmd):
     cmd.add_argument("program")
     cmd.add_argument("-p", "--processors", type=int, default=1)
@@ -563,6 +677,85 @@ def build_parser():
 
     f5 = sub.add_parser("figure5", help="regenerate Table 4 + Figure 5")
     f5.set_defaults(func=_cmd_figure5)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="long-running sweep service: job specs over a unix "
+                      "socket, single-flight dedupe, shared result cache, "
+                      "backpressure, graceful drain")
+    serve_cmd.add_argument("--socket", metavar="PATH", default="april.sock",
+                           help="unix socket to listen on (default "
+                                "april.sock)")
+    serve_cmd.add_argument("--tcp", metavar="HOST:PORT",
+                           help="also listen on TCP (e.g. 127.0.0.1:7010)")
+    serve_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                           help="persistent worker processes (default 2)")
+    serve_cmd.add_argument("--queue-limit", type=int, default=64,
+                           metavar="N",
+                           help="max in-flight executions before new work "
+                                "is fast-failed 'overloaded' (default 64; "
+                                "followers of an open flight ride free)")
+    serve_cmd.add_argument("--rate", type=float, default=0.0, metavar="R",
+                           help="per-connection token-bucket limit in "
+                                "requests/s (0 = unlimited)")
+    serve_cmd.add_argument("--burst", type=float, default=None, metavar="N",
+                           help="token-bucket burst size (default: rate)")
+    serve_cmd.add_argument("--timeout", type=int, default=None,
+                           metavar="SECONDS",
+                           help="per-job wall-clock limit (typed 'timeout' "
+                                "failure; enforced in the worker and at "
+                                "the pool)")
+    serve_cmd.add_argument("--cache-dir", metavar="DIR",
+                           help="result cache root (default: the sweep "
+                                "cache, results/cache or $REPRO_CACHE_DIR)")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="serve without the on-disk result cache "
+                                "(hot LRU and single-flight still apply)")
+    serve_cmd.add_argument("--hot-entries", type=int, default=512,
+                           metavar="N",
+                           help="in-memory result LRU capacity (default "
+                                "512)")
+    serve_cmd.add_argument("--drain-timeout", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="max wait for in-flight jobs on SIGTERM "
+                                "(default 10)")
+    serve_cmd.add_argument("--metrics-out", metavar="FILE",
+                           help="write the final metrics snapshot as JSON "
+                                "on clean shutdown")
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen", help="spray a hot/cold job mix at a running april "
+                        "serve and report RPS, hit/dedupe ratios, latency")
+    lg.add_argument("--socket", metavar="PATH", default="april.sock",
+                    help="server unix socket (default april.sock)")
+    lg.add_argument("--tcp", metavar="HOST:PORT",
+                    help="connect over TCP instead of the unix socket")
+    lg.add_argument("--rate", type=float, default=500.0, metavar="R",
+                    help="target aggregate request rate in requests/s "
+                         "(0 = as fast as possible; default 500)")
+    lg.add_argument("--requests", type=int, default=2000, metavar="N",
+                    help="total requests to send (default 2000)")
+    lg.add_argument("--connections", type=int, default=4, metavar="N",
+                    help="concurrent client connections (default 4)")
+    lg.add_argument("--hot-ratio", type=float, default=0.9, metavar="F",
+                    help="fraction of requests drawn from the hot spec "
+                         "set (default 0.9)")
+    lg.add_argument("--seed", type=int, default=1234,
+                    help="hot/cold mix RNG seed (default 1234)")
+    lg.add_argument("--nonce", type=int, default=None, metavar="N",
+                    help="cold-spec namespace (default: time-derived, so "
+                         "every run's cold jobs are genuinely cold)")
+    lg.add_argument("--program", default="fib",
+                    help="workload the specs run (default fib)")
+    lg.add_argument("--dedupe-burst", type=int, default=0, metavar="N",
+                    help="after the main run, fire N identical never-seen "
+                         "cold requests back-to-back and report the "
+                         "single-flight scorecard")
+    lg.add_argument("--json", action="store_true",
+                    help="full JSON report on stdout")
+    lg.add_argument("--out", metavar="FILE",
+                    help="write the JSON report here")
+    lg.set_defaults(func=_cmd_loadgen)
     return parser
 
 

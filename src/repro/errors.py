@@ -134,3 +134,22 @@ class WorkloadCheckError(ReproError):
 
 class SweepSpecError(ReproError):
     """Raised when an ``april sweep`` spec file cannot be understood."""
+
+
+class ServeError(ReproError):
+    """Raised for ``april serve`` service-side failures (bad listener
+    configuration, socket setup, drain problems)."""
+
+
+class ServeRequestError(ServeError):
+    """One malformed/unacceptable request on the serve wire protocol.
+
+    Carries a short machine-readable ``kind`` (``"bad-request"``,
+    ``"bad-json"``, ``"bad-job"``, ...) so the server can answer with a
+    typed error response and keep the connection alive — a bad request
+    must never take down the service or the connection handling it.
+    """
+
+    def __init__(self, message, kind="bad-request"):
+        super().__init__(message)
+        self.kind = kind

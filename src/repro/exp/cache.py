@@ -1,11 +1,23 @@
 """Content-addressed on-disk result cache.
 
-One JSON file per job under ``<root>/<hash>.json`` where ``<hash>`` is
-:meth:`repro.exp.job.Job.content_hash`.  The cache is what makes sweeps
-resumable: an interrupted or edited sweep re-executes only the cells
-whose hashes have no file yet.  Writes are atomic (tmp file +
-``os.replace``) so a killed worker never leaves a truncated entry, and
-unreadable/corrupt entries degrade to cache misses.
+One JSON file per job under ``<root>/<hh>/<hash>.json`` where
+``<hash>`` is :meth:`repro.exp.job.Job.content_hash` and ``<hh>`` is
+its first two hex characters — 256 shard directories, so the cache
+survives service-scale entry counts (a flat directory degrades badly
+once ``april serve`` has pushed a few hundred thousand results into
+it).  Caches written by older versions used a flat layout
+(``<root>/<hash>.json``); reads fall back to the flat path and lazily
+migrate the entry into its shard, so warm caches keep working across
+the upgrade without a rewrite pass.
+
+The cache is what makes sweeps resumable and the serve hot path cheap:
+an interrupted or edited sweep re-executes only the cells whose hashes
+have no file yet, and a restarted server resumes warm.  Writes are
+atomic (tmp file + ``os.replace``) so a killed worker never leaves a
+truncated entry; a corrupt or truncated entry (a server killed
+mid-``put`` on a filesystem that reordered the replace, a stray
+editor) degrades to a cache miss *and is unlinked*, so one bad file
+can never permanently poison every future request with that hash.
 """
 
 import json
@@ -31,38 +43,82 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.migrated = 0
+        self.dropped = 0
 
     def path_for(self, content_hash):
-        """Where the payload for ``content_hash`` lives."""
+        """Where the payload for ``content_hash`` lives (sharded by its
+        two-hex-char prefix)."""
+        return os.path.join(self.root, content_hash[:2],
+                            "%s.json" % content_hash)
+
+    def legacy_path_for(self, content_hash):
+        """The pre-sharding flat location (read-and-migrate only)."""
         return os.path.join(self.root, "%s.json" % content_hash)
 
     def get(self, content_hash):
         """The cached payload dict, or ``None`` on any kind of miss."""
-        try:
-            with open(self.path_for(content_hash)) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        if not isinstance(payload, dict):
+        payload = self._read(self.path_for(content_hash))
+        if payload is None:
+            payload = self._read(self.legacy_path_for(content_hash))
+            if payload is not None:
+                self._migrate(content_hash, payload)
+        if payload is None:
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
+    def _read(self, path):
+        """Parse one entry file; corrupt/non-dict entries are unlinked
+        so they can never poison future lookups of that hash."""
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            self._drop(path)
+            return None
+        if not isinstance(payload, dict):
+            self._drop(path)
+            return None
+        return payload
+
+    def _drop(self, path):
+        try:
+            os.unlink(path)
+            self.dropped += 1
+        except OSError:
+            pass
+
+    def _migrate(self, content_hash, payload):
+        """Move a flat-layout entry into its shard (lazy migration)."""
+        self._write(content_hash, payload)
+        try:
+            os.unlink(self.legacy_path_for(content_hash))
+        except OSError:
+            pass
+        self.migrated += 1
+
     def put(self, content_hash, payload):
         """Atomically store ``payload``; returns its path."""
-        os.makedirs(self.root, exist_ok=True)
+        path = self._write(content_hash, payload)
+        self.writes += 1
+        return path
+
+    def _write(self, content_hash, payload):
         path = self.path_for(content_hash)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = "%s.tmp.%d" % (path, os.getpid())
         with open(tmp, "w") as handle:
             json.dump(payload, handle, sort_keys=True)
             handle.write("\n")
         os.replace(tmp, path)
-        self.writes += 1
         return path
 
     def counters(self):
         """JSON-ready hit/miss/write counts for the sweep summary."""
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes}
+                "writes": self.writes, "migrated": self.migrated,
+                "dropped": self.dropped}

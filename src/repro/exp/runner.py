@@ -93,11 +93,20 @@ def execute_payload(payload):
         return _failed("exception", "%s: %s" % (type(exc).__name__, exc))
 
 
-def _failed(kind, message, context=None):
+def failed_payload(kind, message, context=None):
+    """A typed failure payload, shaped exactly like a worker failure.
+
+    Public because the serve dispatcher synthesizes the same shape for
+    conditions it detects on the parent side (pool-level timeout,
+    broken pool) — every consumer sees one failure vocabulary.
+    """
     data = {"status": "failed", "kind": kind, "message": message}
     if context:
         data["context"] = context
     return data
+
+
+_failed = failed_payload
 
 
 # -- outcomes --------------------------------------------------------------

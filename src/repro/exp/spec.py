@@ -86,6 +86,79 @@ def validate_spec(spec):
         raise SweepSpecError("config must be an object of knob overrides")
 
 
+#: Keys a single-cell job spec (the ``april serve`` named-workload wire
+#: form) may carry.  One cell is one grid point: a sweep spec's grid
+#: with every axis collapsed to a single value.
+CELL_KEYS = frozenset((
+    "program", "system", "variant", "processors", "args", "max_cycles",
+    "config",
+))
+
+
+def validate_cell(cell):
+    """Raise :class:`SweepSpecError` unless ``cell`` is a well-formed
+    single-cell job spec (``{"program": ..., "system": ...,
+    "processors": ..., ...}`` — the serve protocol's named-workload
+    form, validated with the same vocabulary as a sweep grid)."""
+    from repro import workloads
+    from repro.harness.table3 import SYSTEMS, VARIANTS
+
+    if not isinstance(cell, dict):
+        raise SweepSpecError("job spec must be a JSON object")
+    unknown = sorted(set(cell) - CELL_KEYS)
+    if unknown:
+        raise SweepSpecError(
+            "unknown job spec key(s) %s (have: %s)"
+            % (", ".join(unknown), ", ".join(sorted(CELL_KEYS))))
+    program = cell.get("program")
+    if program not in workloads.BY_NAME:
+        raise SweepSpecError(
+            "unknown program %r (have: %s)"
+            % (program, ", ".join(sorted(workloads.BY_NAME))))
+    system = cell.get("system", "APRIL")
+    if system not in SYSTEMS:
+        raise SweepSpecError(
+            "unknown system %r (have: %s)" % (system, ", ".join(SYSTEMS)))
+    variant = cell.get("variant", "parallel")
+    if variant not in VARIANTS:
+        raise SweepSpecError(
+            "unknown variant %r (have: %s)" % (variant, ", ".join(VARIANTS)))
+    processors = cell.get("processors", 1)
+    if not isinstance(processors, int) or processors < 1:
+        raise SweepSpecError("processors must be a positive int")
+    args = cell.get("args")
+    if args is not None and not (isinstance(args, list)
+                                 and all(isinstance(a, int) for a in args)):
+        raise SweepSpecError("args must be a list of ints")
+    max_cycles = cell.get("max_cycles", 1)
+    if not isinstance(max_cycles, int) or max_cycles < 1:
+        raise SweepSpecError("max_cycles must be a positive int")
+    config = cell.get("config", {})
+    if not isinstance(config, dict):
+        raise SweepSpecError("config must be an object of knob overrides")
+    if "num_processors" in config:
+        raise SweepSpecError(
+            "give processors at the top level, not config.num_processors")
+
+
+def cell_to_job(cell, key_prefix=("serve",)):
+    """The :class:`~repro.exp.job.Job` a validated cell spec names."""
+    from repro import workloads
+    from repro.harness.table3 import cell_job
+
+    validate_cell(cell)
+    module = workloads.get(cell["program"])
+    args = cell.get("args")
+    if args is not None:
+        args = tuple(args)
+    return cell_job(
+        module, cell.get("system", "APRIL"), cell.get("variant", "parallel"),
+        cell.get("processors", 1), args=args,
+        max_cycles=cell.get("max_cycles", 500_000_000),
+        config_overrides=cell.get("config") or {},
+        key_prefix=tuple(key_prefix))
+
+
 def expand_spec(spec):
     """The spec's grid as a list of jobs, in grid-expansion order
     (programs outermost, then systems, then processor counts)."""

@@ -48,6 +48,36 @@ class Log2Histogram:
         if self.min is None or value < self.min:
             self.min = value
 
+    def merge(self, other):
+        """Fold ``other``'s samples into this histogram, exactly.
+
+        Bucket counts, totals, and extrema add/extremize, so the merged
+        histogram is indistinguishable from one that recorded the
+        concatenated sample streams — percentiles included.  That is
+        what lets per-worker and per-connection histograms aggregate
+        into a ``/metrics`` rollup with no approximation beyond the
+        bucket width both sides already share.  Returns ``self``.
+        """
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def __iadd__(self, other):
+        return self.merge(other)
+
+    def __add__(self, other):
+        merged = Log2Histogram()
+        merged.merge(self)
+        merged.merge(other)
+        return merged
+
     @staticmethod
     def bucket_bounds(index):
         """Inclusive ``(low, high)`` value range of a bucket."""

@@ -1,0 +1,51 @@
+"""``repro.serve`` — the long-running sweep service.
+
+The :mod:`repro.exp` engine gives every simulator job a sha256 content
+hash, a content-addressed on-disk result cache, and a process-pool
+worker entry point.  This package is the always-on service layer in
+front of those three: an asyncio front end (``april serve``) accepting
+newline-delimited JSON job specs over a unix socket (and optionally
+TCP), collapsing concurrent identical requests onto one in-flight
+execution (*single-flight*), dispatching misses to a persistent worker
+pool, and answering everything it has already computed straight from
+an in-memory LRU backed by the shared disk cache — so restarts resume
+warm and a cached-mostly workload is served at memory speed.
+
+Operational guardrails come with it: a bounded admission queue with
+fast-fail backpressure when full, per-connection token-bucket rate
+limiting, per-job timeouts, cancellation of executions nobody is
+waiting for anymore, graceful drain on ``SIGTERM``, and a ``metrics``
+request type (counters, queue depth, worker utilization, and streaming
+p50/p90/p99 service latency via
+:class:`repro.obs.hist.Log2Histogram`).  ``april loadgen``
+(:mod:`repro.serve.loadgen`) is the demonstration harness: an asyncio
+client spraying a configurable hot/cold mix at a target rate and
+reporting achieved RPS, hit/dedupe ratios, and the latency histogram.
+
+Module map:
+
+* :mod:`repro.serve.protocol` — the NDJSON wire protocol: request
+  parsing/validation (against :mod:`repro.exp.spec`), response shapes.
+* :mod:`repro.serve.flight` — the single-flight table keyed on job
+  content hash.
+* :mod:`repro.serve.dispatch` — the persistent worker pool with busy
+  accounting and pool-level timeout.
+* :mod:`repro.serve.ratelimit` — the per-connection token bucket.
+* :mod:`repro.serve.metrics` — counters + latency-histogram rollups.
+* :mod:`repro.serve.server` — the asyncio server tying it together.
+* :mod:`repro.serve.loadgen` — the load generator client.
+"""
+
+from repro.serve.dispatch import Dispatcher
+from repro.serve.flight import SingleFlight
+from repro.serve.metrics import ServerMetrics
+from repro.serve.ratelimit import TokenBucket
+from repro.serve.server import SweepServer
+
+__all__ = [
+    "Dispatcher",
+    "ServerMetrics",
+    "SingleFlight",
+    "SweepServer",
+    "TokenBucket",
+]

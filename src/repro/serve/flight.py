@@ -1,0 +1,108 @@
+"""Single-flight execution: concurrent identical requests collapse.
+
+A *flight* is one in-progress execution of a job, keyed by the job's
+content hash.  The first requester for a hash becomes the **leader**
+and starts the execution task; every requester that arrives while the
+flight is open becomes a **follower** and simply awaits the leader's
+task (counted as ``deduped``).  All of them — leader included — get
+the same result object, so fifty concurrent identical cold requests
+cost exactly one simulator run and forty-nine future awaits.
+
+Failure is shared too: worker failures travel as typed payload dicts
+(never exceptions), so followers receive the leader's typed failure
+rather than hanging or re-executing a job that deterministically
+fails.
+
+Waiters are refcounted for disconnect cancellation: each requester
+awaits through an :func:`asyncio.shield`, so a client disconnect
+cancels only that requester's wait.  When the *last* waiter of an
+unfinished flight goes away, nobody wants the result anymore and the
+execution task itself is cancelled (a queued pool job is dropped; a
+running one finishes in its worker and is discarded).
+
+The table is single-threaded asyncio state: every mutation happens
+between awaits on the event loop, so there are no locks.
+"""
+
+import asyncio
+
+
+class _Flight:
+    """One in-progress execution and the requesters awaiting it."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task):
+        self.task = task
+        self.waiters = 0
+
+
+class SingleFlight:
+    """The in-flight execution table, keyed on job content hash."""
+
+    def __init__(self):
+        self._flights = {}
+        self.started = 0        # flights created (leaders)
+        self.deduped = 0        # follower joins
+        self.cancelled = 0      # flights cancelled: every waiter left
+
+    def __len__(self):
+        """Open flights — the service's queue depth."""
+        return len(self._flights)
+
+    def leading(self, key):
+        """Would a request for ``key`` start a new flight right now?"""
+        return key not in self._flights
+
+    async def run(self, key, factory):
+        """Await the result for ``key``, starting a flight if none is
+        open.
+
+        ``factory`` is a no-argument callable returning the execution
+        coroutine; it is invoked only by the leader.  Returns
+        ``(result, leader)`` where ``leader`` says whether this caller
+        started the execution.  Cancellation of this coroutine (client
+        disconnect) detaches one waiter; the underlying execution is
+        cancelled only when no waiters remain.
+        """
+        flight = self._flights.get(key)
+        if flight is None:
+            leader = True
+            flight = _Flight(asyncio.ensure_future(factory()))
+            self._flights[key] = flight
+            flight.task.add_done_callback(
+                lambda _task: self._forget(key, flight))
+            self.started += 1
+        else:
+            leader = False
+            self.deduped += 1
+        flight.waiters += 1
+        try:
+            result = await asyncio.shield(flight.task)
+        except asyncio.CancelledError:
+            if not flight.task.cancelled():
+                # *Our* wait was cancelled, not the execution: drop the
+                # waiter, and if nobody else is listening, stop the
+                # execution too.
+                flight.waiters -= 1
+                if flight.waiters == 0 and not flight.task.done():
+                    flight.task.cancel()
+                    self.cancelled += 1
+            raise
+        flight.waiters -= 1
+        return result, leader
+
+    def _forget(self, key, flight):
+        if self._flights.get(key) is flight:
+            del self._flights[key]
+
+    async def drain(self, poll_s=0.02, deadline=None):
+        """Wait until every open flight has finished (bounded by an
+        absolute ``deadline`` from ``asyncio``'s clock, if given).
+        Returns the number of flights still open."""
+        loop = asyncio.get_running_loop()
+        while self._flights:
+            if deadline is not None and loop.time() >= deadline:
+                break
+            await asyncio.sleep(poll_s)
+        return len(self._flights)

@@ -1,0 +1,95 @@
+"""Server-side counters and latency rollups for the ``metrics`` op.
+
+Latency is tracked as **streaming log2 histograms**
+(:class:`repro.obs.hist.Log2Histogram`, microseconds) — O(1) memory
+per axis, exact merge.  Each connection records into its own
+histogram; when a connection closes, its histogram is folded into a
+``retired`` accumulator, and a metrics snapshot merges retired +
+every live connection into one rollup via
+:meth:`~repro.obs.hist.Log2Histogram.merge`.  Because merge is exact
+(bucket-wise addition), the rollup's percentiles equal those of the
+concatenated per-connection streams — no averaging-of-percentiles
+fallacy.
+
+A second axis keys histograms by how the request was served
+(``hit`` / ``executed`` / ``deduped`` / ``failed`` / ``rejected``),
+which is the number that makes the caching story visible: hits are
+microseconds, executions are milliseconds-to-seconds.
+"""
+
+import time
+
+from repro.obs.hist import Log2Histogram
+
+#: Counter names, all starting at zero; ``snapshot`` emits every one
+#: even when untouched so dashboards see a stable schema.
+COUNTER_NAMES = (
+    "connections",           # accepted, lifetime
+    "requests",              # lines parsed OK, any op
+    "jobs",                  # op=job requests admitted to handling
+    "executed",              # single-flight leaders that ran a job
+    "hit_hot",               # served from the in-memory LRU
+    "hit_disk",              # served from the on-disk ResultCache
+    "deduped",               # followers collapsed onto a flight
+    "failed",                # job responses with status=failed
+    "rejected_overload",     # queue-depth backpressure fast-fails
+    "rejected_ratelimit",    # token-bucket fast-fails
+    "rejected_draining",     # refused because SIGTERM drain started
+    "bad_requests",          # malformed lines / specs
+    "cancelled",             # flights cancelled: every waiter left
+    "timeouts",              # pool-side job timeouts
+)
+
+
+class ServerMetrics:
+    """Counters + latency histograms; the ``metrics`` op's backing."""
+
+    def __init__(self, clock=time.monotonic):
+        self.counts = dict.fromkeys(COUNTER_NAMES, 0)
+        self.retired = Log2Histogram()
+        self.by_served = {}
+        self.started_at = clock()
+        self._clock = clock
+
+    def bump(self, name, n=1):
+        self.counts[name] += n
+
+    def observe(self, served, latency_us, connection_hist=None):
+        """Record one finished request's service latency."""
+        hist = self.by_served.get(served)
+        if hist is None:
+            hist = self.by_served[served] = Log2Histogram()
+        hist.record(latency_us)
+        if connection_hist is not None:
+            connection_hist.record(latency_us)
+
+    def retire_connection(self, connection_hist):
+        """Fold a closed connection's histogram into the rollup base."""
+        self.retired.merge(connection_hist)
+
+    def rollup(self, live_hists=()):
+        """The merged service-latency histogram: retired + live."""
+        merged = Log2Histogram()
+        merged.merge(self.retired)
+        for hist in live_hists:
+            merged.merge(hist)
+        return merged
+
+    def snapshot(self, live_hists=(), **sections):
+        """The JSON-ready metrics dict; extra keyword sections (queue,
+        workers, cache, ...) are spliced in verbatim."""
+        rollup = self.rollup(live_hists)
+        counters = dict(self.counts)
+        counters["cache_hits"] = (counters["hit_hot"]
+                                  + counters["hit_disk"])
+        data = {
+            "uptime_s": round(self._clock() - self.started_at, 3),
+            "counters": counters,
+            "latency_us": rollup.to_dict(),
+            "latency_by_served": {
+                served: hist.to_dict()
+                for served, hist in sorted(self.by_served.items())
+            },
+        }
+        data.update(sections)
+        return data

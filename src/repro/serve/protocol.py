@@ -1,0 +1,192 @@
+"""The serve wire protocol: newline-delimited JSON, one object per line.
+
+Requests
+--------
+
+Every request is a single JSON object on one line.  ``op`` selects the
+request type (default ``"job"``); ``id`` is an arbitrary client token
+echoed verbatim on the response so pipelined requests can be matched
+out of order::
+
+    {"op": "job", "id": 7, "job": {"program": "fib", "system": "APRIL",
+                                   "processors": 2, "args": [8]}}
+    {"op": "job", "id": 8, "job": {"source": "(define (main) 42)"}}
+    {"op": "metrics", "id": 9}
+    {"op": "ping"}
+
+Job specs come in two forms.  The **named-workload form** (key
+``program``) names one cell of the sweep vocabulary — program, system
+row, variant, processor count, args, config overrides — and is
+validated by :func:`repro.exp.spec.validate_cell`, exactly the checks
+``april sweep`` applies to a grid.  The **source form** (key
+``source``) carries inline Mul-T source plus compile/run knobs and
+maps to :meth:`repro.exp.job.Job.from_spec`.
+
+Responses
+---------
+
+One JSON object per line, always carrying the echoed ``id`` and a
+``status``:
+
+* ``"ok"`` — the job finished; ``result`` is the full worker payload,
+  ``hash`` the content hash, ``served`` how it was satisfied
+  (``"hit"`` from cache, ``"executed"`` as the single-flight leader,
+  ``"deduped"`` as a follower of a concurrent identical request).
+* ``"failed"`` — the job ran and failed; ``kind``/``message`` carry
+  the typed worker failure (same vocabulary as sweep cells).
+* ``"rejected"`` — admission control said no *before* running
+  anything: ``kind`` is ``"overloaded"`` (queue full),
+  ``"rate-limited"`` (token bucket empty), or ``"draining"``
+  (SIGTERM received).  The 429 of this protocol: clients should back
+  off and retry.
+* ``"error"`` — the request itself was malformed (bad JSON, unknown
+  op, invalid job spec); ``kind``/``message`` say why.
+"""
+
+import json
+
+from repro.errors import ReproError, ServeRequestError
+from repro.exp.job import Job, canonical_json
+
+#: Protocol tag echoed by ``ping`` and ``metrics`` responses.
+PROTOCOL = "april-serve/1"
+
+#: Longest accepted request line (also the asyncio stream limit).
+MAX_LINE_BYTES = 1 << 20
+
+#: Request types the server understands.
+OPS = ("job", "metrics", "ping")
+
+#: Keys a source-form job spec may carry (see Job.from_spec).
+SOURCE_KEYS = frozenset((
+    "source", "mode", "software_checks", "optimize", "processors",
+    "config", "entry", "args", "max_cycles", "expect",
+))
+
+_MODES = ("eager", "lazy", "sequential")
+
+
+def parse_request(line):
+    """One wire line -> request dict; raises :class:`ServeRequestError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServeRequestError("request is not UTF-8: %s" % exc,
+                                    kind="bad-json")
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        raise ServeRequestError("request is not valid JSON: %s" % exc,
+                                kind="bad-json")
+    if not isinstance(request, dict):
+        raise ServeRequestError("request must be a JSON object",
+                                kind="bad-request")
+    op = request.get("op", "job")
+    if op not in OPS:
+        raise ServeRequestError(
+            "unknown op %r (have: %s)" % (op, ", ".join(OPS)),
+            kind="bad-request")
+    return request
+
+
+def job_from_spec(spec):
+    """A validated :class:`~repro.exp.job.Job` from a wire job spec.
+
+    Accepts both the named-workload form and the source form; every
+    validation problem becomes a :class:`ServeRequestError` (kind
+    ``"bad-job"``) so the server can answer with a typed error and
+    move on.
+    """
+    from repro.errors import SweepSpecError
+    from repro.exp.spec import cell_to_job, validate_cell
+
+    if not isinstance(spec, dict):
+        raise ServeRequestError("job spec must be a JSON object",
+                                kind="bad-job")
+    if "program" in spec:
+        try:
+            validate_cell(spec)
+            return cell_to_job(spec)
+        except SweepSpecError as exc:
+            raise ServeRequestError(str(exc), kind="bad-job")
+    if "source" not in spec:
+        raise ServeRequestError(
+            "job spec needs either \"program\" (named workload) or "
+            "\"source\" (inline Mul-T)", kind="bad-job")
+    unknown = sorted(set(spec) - SOURCE_KEYS)
+    if unknown:
+        raise ServeRequestError(
+            "unknown job spec key(s) %s (have: %s)"
+            % (", ".join(unknown), ", ".join(sorted(SOURCE_KEYS))),
+            kind="bad-job")
+    if not isinstance(spec["source"], str) or not spec["source"].strip():
+        raise ServeRequestError("source must be non-empty Mul-T text",
+                                kind="bad-job")
+    if spec.get("mode", "eager") not in _MODES:
+        raise ServeRequestError(
+            "unknown mode %r (have: %s)"
+            % (spec.get("mode"), ", ".join(_MODES)), kind="bad-job")
+    args = spec.get("args", [])
+    if not (isinstance(args, list)
+            and all(isinstance(a, int) for a in args)):
+        raise ServeRequestError("args must be a list of ints",
+                                kind="bad-job")
+    for knob, minimum in (("processors", 1), ("max_cycles", 1)):
+        value = spec.get(knob)
+        if value is not None and (not isinstance(value, int)
+                                  or value < minimum):
+            raise ServeRequestError("%s must be a positive int" % knob,
+                                    kind="bad-job")
+    if not isinstance(spec.get("config", {}), dict):
+        raise ServeRequestError("config must be an object of knob "
+                                "overrides", kind="bad-job")
+    try:
+        return Job.from_spec(spec)
+    except (TypeError, ValueError, ReproError) as exc:
+        raise ServeRequestError("bad job spec: %s" % exc, kind="bad-job")
+
+
+def compile_job(job):
+    """The ``(content_hash, worker_payload, cacheable)`` triple for a
+    job, compiling its source; compile problems become typed
+    bad-job errors rather than server crashes."""
+    try:
+        return job.content_hash(), job.payload(), job.cacheable
+    except ReproError as exc:
+        raise ServeRequestError(
+            "job does not compile: %s" % exc, kind="bad-job")
+
+
+def encode(response):
+    """One response dict as a canonical wire line (bytes)."""
+    return (canonical_json(response) + "\n").encode("utf-8")
+
+
+# -- response shapes -------------------------------------------------------
+
+
+def ok_response(request_id, content_hash, result, served):
+    return {"id": request_id, "status": "ok", "hash": content_hash,
+            "served": served, "result": result}
+
+
+def failed_response(request_id, content_hash, result, served):
+    response = {"id": request_id, "status": "failed",
+                "hash": content_hash, "served": served,
+                "kind": result.get("kind", "exception"),
+                "message": result.get("message", "")}
+    if result.get("context"):
+        response["context"] = result["context"]
+    return response
+
+
+def rejected_response(request_id, kind, message):
+    return {"id": request_id, "status": "rejected", "kind": kind,
+            "message": message}
+
+
+def error_response(request_id, exc):
+    kind = getattr(exc, "kind", "bad-request")
+    return {"id": request_id, "status": "error", "kind": kind,
+            "message": str(exc)}

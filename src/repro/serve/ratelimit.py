@@ -1,0 +1,50 @@
+"""Token-bucket rate limiting.
+
+The classic leaky-abstraction-free shaper: a bucket holds up to
+``burst`` tokens and refills continuously at ``rate`` tokens/second;
+each admitted request spends one token; an empty bucket means
+fast-fail rejection (the serve protocol's ``rate-limited`` response)
+rather than queueing — the hierarchical-scheduler literature's point
+that an overloaded stage should shed load at the edge, not buffer it
+into latency.
+
+The clock is injectable so tests (and the metrics snapshot) are
+deterministic.
+"""
+
+import time
+
+
+class TokenBucket:
+    """A continuous-refill token bucket; ``rate <= 0`` disables it."""
+
+    __slots__ = ("rate", "burst", "tokens", "rejected", "admitted",
+                 "_clock", "_last")
+
+    def __init__(self, rate, burst=None, clock=time.monotonic):
+        self.rate = float(rate)
+        if burst is None:
+            burst = max(1.0, self.rate)
+        self.burst = float(burst)
+        self.tokens = self.burst
+        self.admitted = 0
+        self.rejected = 0
+        self._clock = clock
+        self._last = clock()
+
+    def try_acquire(self, cost=1.0):
+        """Spend ``cost`` tokens if available; ``False`` = shed load."""
+        if self.rate <= 0:
+            self.admitted += 1
+            return True
+        now = self._clock()
+        if now > self._last:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False

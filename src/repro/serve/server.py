@@ -1,0 +1,394 @@
+"""The asyncio sweep server behind ``april serve``.
+
+One :class:`SweepServer` listens on a unix socket (and optionally TCP),
+speaks the :mod:`repro.serve.protocol` NDJSON protocol, and serves job
+results through a four-level ladder — each level orders of magnitude
+cheaper than the next:
+
+1. **hot LRU** — recent result payloads by content hash, in memory;
+2. **disk cache** — the shared content-addressed
+   :class:`~repro.exp.cache.ResultCache` the sweep commands also use,
+   so a restarted server (or a sweep that ran yesterday) resumes warm;
+3. **single-flight join** — an identical request is already executing:
+   await its result (``deduped``) instead of running it again;
+4. **execution** — dispatch to the persistent worker pool, then write
+   the result through levels 1 and 2.
+
+Admission control happens before level 4 ever gets work: a draining
+server refuses new jobs, a connection over its token-bucket rate gets
+a fast ``rate-limited`` rejection, and when the number of in-flight
+*executions* (open flights, not requests — followers ride along free)
+reaches ``queue_limit``, new work is fast-failed ``overloaded``
+instead of buffered into unbounded latency.
+
+Clients that disconnect abandon their outstanding requests: each
+pending request task is cancelled, and an in-flight execution is
+cancelled as soon as its last waiter is gone.  Requests may be
+pipelined; responses carry the client's ``id`` and may complete out of
+order.  A client must keep its connection open until it has read every
+response it cares about.
+"""
+
+import asyncio
+import itertools
+import os
+import time
+from collections import OrderedDict
+
+from repro.errors import ServeError, ServeRequestError
+from repro.exp.cache import ResultCache
+from repro.exp.job import canonical_json
+from repro.obs.hist import Log2Histogram
+from repro.serve import protocol
+from repro.serve.dispatch import Dispatcher
+from repro.serve.flight import SingleFlight
+from repro.serve.metrics import ServerMetrics
+from repro.serve.ratelimit import TokenBucket
+
+
+class _LRU:
+    """A bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity):
+        self.capacity = max(0, int(capacity))
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value):
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class SpecIndex:
+    """LRU memo: canonical job-spec JSON -> (hash, payload, cacheable).
+
+    Resolving a spec means building the Job and *compiling* its
+    program (the content hash covers compiled words) — milliseconds.
+    Hot traffic repeats a handful of specs, so this memo turns the
+    per-request cost into one dict lookup.
+    """
+
+    def __init__(self, capacity=512):
+        self.lru = _LRU(capacity)
+        self.hits = 0
+        self.builds = 0
+
+    def resolve(self, spec):
+        key = canonical_json(spec)
+        entry = self.lru.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        entry = protocol.compile_job(protocol.job_from_spec(spec))
+        self.lru.put(key, entry)
+        self.builds += 1
+        return entry
+
+
+class _Connection:
+    """One client connection: its writer lock, bucket, histogram."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, reader, writer, bucket):
+        self.id = next(self._ids)
+        self.reader = reader
+        self.writer = writer
+        self.bucket = bucket
+        self.hist = Log2Histogram()
+        self.tasks = set()
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, response):
+        data = protocol.encode(response)
+        async with self.lock:
+            if self.closed:
+                return
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                self.closed = True
+
+    def close(self):
+        self.closed = True
+        for task in list(self.tasks):
+            task.cancel()
+        try:
+            self.writer.close()
+        except RuntimeError:
+            pass
+
+
+class SweepServer:
+    """The sweep service: cache ladder + single-flight + guardrails."""
+
+    def __init__(self, socket_path=None, host=None, port=None, *,
+                 workers=2, worker_mode="process", queue_limit=64,
+                 rate=0.0, burst=None, timeout_s=None, cache=None,
+                 hot_entries=512, spec_entries=512, dispatcher=None,
+                 clock=time.monotonic):
+        if socket_path is None and port is None:
+            raise ServeError("serve needs a unix socket path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.queue_limit = max(1, int(queue_limit))
+        self.rate = rate
+        self.burst = burst
+        self.cache = cache
+        self.hot = _LRU(hot_entries)
+        self.specs = SpecIndex(spec_entries)
+        self.flights = SingleFlight()
+        self.dispatcher = dispatcher or Dispatcher(
+            workers=workers, timeout_s=timeout_s, mode=worker_mode,
+            clock=clock)
+        self.metrics = ServerMetrics(clock=clock)
+        self.draining = False
+        self._clock = clock
+        self._connections = set()
+        self._servers = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Bind the listeners; returns self (usable as a handle)."""
+        if self.socket_path:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)      # stale socket from a crash
+            self._servers.append(await asyncio.start_unix_server(
+                self._on_connect, path=self.socket_path,
+                limit=protocol.MAX_LINE_BYTES))
+        if self.port is not None:
+            self._servers.append(await asyncio.start_server(
+                self._on_connect, self.host or "127.0.0.1", self.port,
+                limit=protocol.MAX_LINE_BYTES))
+        return self
+
+    def begin_drain(self):
+        """Stop accepting; new job requests get ``draining`` rejections."""
+        self.draining = True
+        for server in self._servers:
+            server.close()
+
+    async def stop(self, drain_timeout_s=10.0):
+        """Graceful shutdown: drain in-flight executions (bounded),
+        then drop connections and the pool.  Returns the number of
+        flights abandoned (0 = clean drain)."""
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        leftover = await self.flights.drain(
+            deadline=loop.time() + max(0.0, drain_timeout_s))
+        for conn in list(self._connections):
+            conn.close()
+        await asyncio.sleep(0)                  # let handlers unwind
+        self.dispatcher.shutdown(wait=(leftover == 0))
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        return leftover
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connect(self, reader, writer):
+        bucket = (TokenBucket(self.rate, self.burst, clock=self._clock)
+                  if self.rate and self.rate > 0 else None)
+        conn = _Connection(reader, writer, bucket)
+        self._connections.add(conn)
+        self.metrics.bump("connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.metrics.bump("bad_requests")
+                    await conn.send(protocol.error_response(
+                        None, ServeRequestError(
+                            "request line exceeds %d bytes"
+                            % protocol.MAX_LINE_BYTES)))
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(conn, line))
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+        finally:
+            self._connections.discard(conn)
+            conn.close()
+            self.metrics.retire_connection(conn.hist)
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_request(self, conn, line):
+        start = self._clock()
+        try:
+            request = protocol.parse_request(line)
+        except ServeRequestError as exc:
+            self.metrics.bump("bad_requests")
+            await conn.send(protocol.error_response(None, exc))
+            return
+        self.metrics.bump("requests")
+        op = request.get("op", "job")
+        request_id = request.get("id")
+        if op == "ping":
+            await conn.send({"id": request_id, "status": "ok",
+                             "op": "ping", "protocol": protocol.PROTOCOL})
+            return
+        if op == "metrics":
+            await conn.send({"id": request_id, "status": "ok",
+                             "op": "metrics",
+                             "metrics": self.metrics_snapshot()})
+            return
+        response = await self._handle_job(conn, request)
+        latency_us = int((self._clock() - start) * 1_000_000)
+        self.metrics.observe(self._served_axis(response), latency_us,
+                             conn.hist)
+        response["latency_us"] = latency_us
+        await conn.send(response)
+
+    @staticmethod
+    def _served_axis(response):
+        """Which latency histogram a job response lands in."""
+        if response["status"] in ("ok", "failed"):
+            return response.get("served", response["status"])
+        return response["status"]               # "rejected" / "error"
+
+    # -- the job ladder ----------------------------------------------------
+
+    async def _handle_job(self, conn, request):
+        request_id = request.get("id")
+        self.metrics.bump("jobs")
+        if self.draining:
+            self.metrics.bump("rejected_draining")
+            return protocol.rejected_response(
+                request_id, "draining", "server is draining for shutdown")
+        if conn.bucket is not None and not conn.bucket.try_acquire():
+            self.metrics.bump("rejected_ratelimit")
+            return protocol.rejected_response(
+                request_id, "rate-limited",
+                "connection exceeds %g requests/s" % self.rate)
+        try:
+            content_hash, payload, cacheable = self.specs.resolve(
+                request.get("job"))
+        except ServeRequestError as exc:
+            self.metrics.bump("bad_requests")
+            return protocol.error_response(request_id, exc)
+
+        # Level 1+2: already computed, by anyone, ever.
+        result = self.hot.get(content_hash) if cacheable else None
+        if result is not None:
+            self.metrics.bump("hit_hot")
+            return protocol.ok_response(request_id, content_hash, result,
+                                        served="hit")
+        if cacheable and self.cache is not None:
+            result = self.cache.get(content_hash)
+            if result is not None and result.get("status") == "ok":
+                self.hot.put(content_hash, result)
+                self.metrics.bump("hit_disk")
+                return protocol.ok_response(request_id, content_hash,
+                                            result, served="hit")
+
+        # Level 3+4: join the open flight, or become its leader —
+        # backpressure applies only to new work (followers ride free).
+        if (self.flights.leading(content_hash)
+                and len(self.flights) >= self.queue_limit):
+            self.metrics.bump("rejected_overload")
+            return protocol.rejected_response(
+                request_id, "overloaded",
+                "admission queue full (%d executions in flight)"
+                % len(self.flights))
+        result, leader = await self.flights.run(
+            content_hash,
+            lambda: self._execute_and_store(content_hash, payload,
+                                            cacheable))
+        served = "executed" if leader else "deduped"
+        if result.get("status") == "ok":
+            return protocol.ok_response(request_id, content_hash, result,
+                                        served=served)
+        self.metrics.bump("failed")
+        return protocol.failed_response(request_id, content_hash, result,
+                                        served=served)
+
+    async def _execute_and_store(self, content_hash, payload, cacheable):
+        result = await self.dispatcher.execute(payload)
+        self.metrics.bump("executed")
+        if cacheable and result.get("status") == "ok":
+            self.hot.put(content_hash, result)
+            if self.cache is not None:
+                self.cache.put(content_hash, result)
+        return result
+
+    # -- introspection -----------------------------------------------------
+
+    def metrics_snapshot(self):
+        """The JSON-ready ``metrics`` response body."""
+        counters_patch = {
+            "deduped": self.flights.deduped,
+            "cancelled": self.flights.cancelled,
+            "timeouts": self.dispatcher.timeouts,
+        }
+        snapshot = self.metrics.snapshot(
+            live_hists=[conn.hist for conn in self._connections],
+            protocol=protocol.PROTOCOL,
+            draining=self.draining,
+            queue={"depth": len(self.flights), "limit": self.queue_limit},
+            workers=self.dispatcher.utilization(),
+            connections={"open": len(self._connections),
+                         "total": self.metrics.counts["connections"]},
+            cache=self._cache_section(),
+            spec_index={"hits": self.specs.hits,
+                        "builds": self.specs.builds},
+        )
+        snapshot["counters"].update(counters_patch)
+        return snapshot
+
+    def _cache_section(self):
+        section = {"hot_entries": len(self.hot),
+                   "hot_capacity": self.hot.capacity}
+        if self.cache is not None:
+            section["disk"] = self.cache.counters()
+            section["root"] = self.cache.root
+        return section
+
+
+def build_server(args, clock=time.monotonic):
+    """A :class:`SweepServer` from ``april serve`` CLI args."""
+    cache = None
+    if not getattr(args, "no_cache", False):
+        from repro.exp.cache import default_cache
+        cache = (ResultCache(args.cache_dir) if args.cache_dir
+                 else default_cache())
+    host = port = None
+    if getattr(args, "tcp", None):
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServeError("--tcp wants HOST:PORT, got %r" % args.tcp)
+    return SweepServer(
+        socket_path=args.socket, host=host or None, port=port,
+        workers=args.workers, queue_limit=args.queue_limit,
+        rate=args.rate, burst=args.burst, timeout_s=args.timeout,
+        cache=cache, hot_entries=args.hot_entries, clock=clock)

@@ -6,6 +6,15 @@ import os
 from repro.exp.cache import ResultCache, default_cache, default_cache_dir
 
 
+def _plant(cache, content_hash, text):
+    """Write raw text at the sharded location for ``content_hash``."""
+    path = cache.path_for(content_hash)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(str(tmp_path))
@@ -13,24 +22,35 @@ class TestResultCache:
         path = cache.put("abc123", payload)
         assert os.path.exists(path)
         assert cache.get("abc123") == payload
-        assert cache.counters() == {"hits": 1, "misses": 0, "writes": 1}
+        assert cache.counters() == {"hits": 1, "misses": 0, "writes": 1,
+                                    "migrated": 0, "dropped": 0}
 
     def test_missing_entry_is_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         assert cache.get("nope") is None
         assert cache.counters()["misses"] == 1
 
-    def test_corrupt_entry_is_miss(self, tmp_path):
+    def test_corrupt_entry_is_miss_and_unlinked(self, tmp_path):
         cache = ResultCache(str(tmp_path))
-        with open(cache.path_for("bad"), "w") as handle:
-            handle.write("{truncated")
+        path = _plant(cache, "bad", "{truncated")
         assert cache.get("bad") is None
+        assert not os.path.exists(path)
+        assert cache.counters()["dropped"] == 1
 
-    def test_non_dict_entry_is_miss(self, tmp_path):
+    def test_non_dict_entry_is_miss_and_unlinked(self, tmp_path):
         cache = ResultCache(str(tmp_path))
-        with open(cache.path_for("list"), "w") as handle:
-            json.dump([1, 2], handle)
+        path = _plant(cache, "list", json.dumps([1, 2]))
         assert cache.get("list") is None
+        assert not os.path.exists(path)
+        assert cache.counters()["dropped"] == 1
+
+    def test_corrupt_entry_recomputed_roundtrip(self, tmp_path):
+        """A poisoned hash is usable again right after the miss."""
+        cache = ResultCache(str(tmp_path))
+        _plant(cache, "h", "not json at all")
+        assert cache.get("h") is None
+        cache.put("h", {"status": "ok", "value": 7})
+        assert cache.get("h")["value"] == 7
 
     def test_put_creates_root(self, tmp_path):
         cache = ResultCache(str(tmp_path / "deep" / "cache"))
@@ -40,7 +60,8 @@ class TestResultCache:
     def test_atomic_write_leaves_no_tmp(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         cache.put("k", {"status": "ok"})
-        assert [name for name in os.listdir(str(tmp_path))
+        shard = os.path.dirname(cache.path_for("k"))
+        assert [name for name in os.listdir(shard)
                 if ".tmp" in name] == []
 
     def test_overwrite(self, tmp_path):
@@ -48,6 +69,47 @@ class TestResultCache:
         cache.put("k", {"status": "ok", "value": 1})
         cache.put("k", {"status": "ok", "value": 2})
         assert cache.get("k")["value"] == 2
+
+
+class TestSharding:
+    def test_path_is_sharded_by_hash_prefix(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.path_for("abcdef") == os.path.join(
+            str(tmp_path), "ab", "abcdef.json")
+        assert cache.legacy_path_for("abcdef") == os.path.join(
+            str(tmp_path), "abcdef.json")
+
+    def test_put_lands_in_shard_directory(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("deadbeef", {"status": "ok"})
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "de", "deadbeef.json"))
+        assert not os.path.exists(
+            os.path.join(str(tmp_path), "deadbeef.json"))
+
+    def test_flat_legacy_entry_is_read_and_migrated(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        payload = {"status": "ok", "value": 99}
+        flat = cache.legacy_path_for("cafe01")
+        with open(flat, "w") as handle:
+            json.dump(payload, handle)
+        assert cache.get("cafe01") == payload
+        # Lazily migrated: sharded file exists, flat file is gone.
+        assert os.path.exists(cache.path_for("cafe01"))
+        assert not os.path.exists(flat)
+        assert cache.counters()["migrated"] == 1
+        # Second read comes straight from the shard.
+        assert cache.get("cafe01") == payload
+        assert cache.counters()["hits"] == 2
+        assert cache.counters()["migrated"] == 1
+
+    def test_sharded_entry_wins_over_flat(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with open(cache.legacy_path_for("k"), "w") as handle:
+            json.dump({"status": "ok", "value": "old"}, handle)
+        cache.put("k", {"status": "ok", "value": "new"})
+        assert cache.get("k")["value"] == "new"
+        assert cache.counters()["migrated"] == 0
 
 
 class TestDefaults:

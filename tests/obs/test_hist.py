@@ -1,7 +1,17 @@
 """Log2 streaming histograms: buckets, percentiles, axis tables."""
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.obs import LatencyHistograms, Log2Histogram
 from repro.obs.hist import NUM_BUCKETS
+
+
+def _fill(values):
+    hist = Log2Histogram()
+    for value in values:
+        hist.record(value)
+    return hist
 
 
 class TestLog2Histogram:
@@ -84,6 +94,66 @@ class TestLog2Histogram:
         assert data["max"] == 5
         assert data["buckets"] == {"2-3": 1, "4-7": 1}
         assert set(data) >= {"p50", "p90", "p99"}
+
+
+class TestMerge:
+    def test_merge_adds_buckets_and_stats(self):
+        left = _fill([1, 10, 100])
+        right = _fill([5, 1000])
+        left.merge(right)
+        assert left.count == 5
+        assert left.total == 1116
+        assert left.min == 1
+        assert left.max == 1000
+        assert left.counts[(10).bit_length()] >= 1
+
+    def test_merge_returns_self(self):
+        hist = Log2Histogram()
+        assert hist.merge(_fill([3])) is hist
+
+    def test_merge_empty_is_identity(self):
+        hist = _fill([7, 9])
+        before = hist.to_dict()
+        hist.merge(Log2Histogram())
+        assert hist.to_dict() == before
+        empty = Log2Histogram()
+        empty.merge(Log2Histogram())
+        assert empty.count == 0
+        assert empty.min is None
+
+    def test_iadd_and_add(self):
+        left = _fill([4])
+        left += _fill([16])
+        assert left.count == 2
+        total = _fill([1, 2]) + _fill([3, 4])
+        assert total.count == 4
+        assert total.total == 10
+        assert total.min == 1
+        assert total.max == 4
+
+    def test_add_does_not_mutate_operands(self):
+        left = _fill([8])
+        right = _fill([32])
+        merged = left + right
+        assert merged.count == 2
+        assert left.count == 1
+        assert right.count == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 40)),
+           st.lists(st.integers(min_value=0, max_value=1 << 40)))
+    def test_merged_percentiles_equal_concatenated_stream(self, a, b):
+        """merge() is exact: percentiles of (A merged B) are the
+        percentiles of the single stream A+B, for every percentile and
+        every shape of input — the no-averaging-of-percentiles law."""
+        merged = _fill(a) + _fill(b)
+        concat = _fill(a + b)
+        assert merged.count == concat.count
+        assert merged.total == concat.total
+        assert merged.min == concat.min
+        assert merged.max == concat.max
+        assert merged.counts == concat.counts
+        for p in (1, 25, 50, 75, 90, 99, 99.9, 100):
+            assert merged.percentile(p) == concat.percentile(p)
 
 
 class TestLatencyHistograms:

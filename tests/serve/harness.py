@@ -1,0 +1,111 @@
+"""Shared plumbing for the serve end-to-end tests.
+
+No pytest-asyncio here: every test drives its own event loop through
+``run()`` (an ``asyncio.run`` with a global deadline so a hung server
+fails the test instead of wedging the suite).  Servers run in thread
+mode — the simulator is pure, so thread workers are exact and cost no
+fork/spawn — and tests that need deterministic concurrency use
+:class:`GatedDispatcher`, which parks every execution on an
+:class:`asyncio.Event` until the test has observed the queue shape it
+wants.
+"""
+
+import asyncio
+import json
+import socket
+
+from repro.serve.dispatch import Dispatcher
+
+#: Global per-test deadline: generous on CI, instant death on hangs.
+DEADLINE_S = 30.0
+
+
+def run(coroutine):
+    """``asyncio.run`` with the suite's hang guard."""
+    async def guarded():
+        return await asyncio.wait_for(coroutine, DEADLINE_S)
+    return asyncio.run(guarded())
+
+
+class GatedDispatcher(Dispatcher):
+    """A thread-mode dispatcher that parks executions on a gate.
+
+    ``calls`` counts executions *started* (leaders that reached the
+    pool), which together with the gate lets a test freeze the moment
+    one flight is open, assert on queue state, then release.
+    """
+
+    def __init__(self, workers=2, timeout_s=None):
+        super().__init__(workers=workers, timeout_s=timeout_s,
+                         mode="thread")
+        self.gate = asyncio.Event()
+        self.calls = 0
+
+    async def execute(self, payload):
+        self.calls += 1
+        await self.gate.wait()
+        return await super().execute(payload)
+
+
+async def serving(server, scenario):
+    """Start ``server``, run ``scenario()``, always stop cleanly."""
+    await server.start()
+    try:
+        return await scenario()
+    finally:
+        await server.stop(drain_timeout_s=2.0)
+
+
+async def connect(socket_path):
+    return await asyncio.open_unix_connection(socket_path)
+
+
+async def request(reader, writer, payload):
+    """One request/response round-trip on an open connection."""
+    writer.write((json.dumps(payload) + "\n").encode())
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+async def one_shot(socket_path, payload):
+    """Connect, ask once, disconnect."""
+    reader, writer = await connect(socket_path)
+    try:
+        return await request(reader, writer, payload)
+    finally:
+        writer.close()
+
+
+def raw_request(socket_path, payload, results, index):
+    """Blocking AF_UNIX round-trip — the thread-client side of the
+    mixed threads+asyncio single-flight test."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.connect(socket_path)
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buffer = b""
+        while not buffer.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+        results[index] = json.loads(buffer)
+    finally:
+        sock.close()
+
+
+async def eventually(predicate, timeout_s=10.0, poll_s=0.005):
+    """Await ``predicate()`` turning truthy; False on timeout."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while not predicate():
+        if loop.time() >= deadline:
+            return False
+        await asyncio.sleep(poll_s)
+    return True
+
+
+def cold_source_spec(tag):
+    """A source-form job spec whose content hash is unique per tag."""
+    return {"source": "(define (main) (+ 40 %d))" % tag,
+            "processors": 1}

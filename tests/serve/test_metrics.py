@@ -1,0 +1,84 @@
+"""Server metrics: counters, per-axis histograms, exact rollups."""
+
+from repro.obs.hist import Log2Histogram
+from repro.serve.metrics import COUNTER_NAMES, ServerMetrics
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestCounters:
+    def test_all_counters_start_at_zero(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        assert set(metrics.counts) == set(COUNTER_NAMES)
+        assert all(value == 0 for value in metrics.counts.values())
+
+    def test_bump(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        metrics.bump("requests")
+        metrics.bump("deduped", 5)
+        assert metrics.counts["requests"] == 1
+        assert metrics.counts["deduped"] == 5
+
+    def test_snapshot_computes_cache_hits(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        metrics.bump("hit_hot", 3)
+        metrics.bump("hit_disk", 2)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["cache_hits"] == 5
+
+    def test_snapshot_schema_is_stable_when_untouched(self):
+        snapshot = ServerMetrics(clock=FakeClock()).snapshot()
+        assert set(snapshot["counters"]) == (
+            set(COUNTER_NAMES) | {"cache_hits"})
+        assert snapshot["latency_us"]["count"] == 0
+        assert snapshot["latency_us"]["p99"] is None
+        assert snapshot["latency_by_served"] == {}
+
+
+class TestLatencyRollup:
+    def test_observe_keys_by_served_axis(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        metrics.observe("hit", 10)
+        metrics.observe("hit", 12)
+        metrics.observe("executed", 50_000)
+        assert metrics.by_served["hit"].count == 2
+        assert metrics.by_served["executed"].count == 1
+
+    def test_rollup_merges_retired_and_live_exactly(self):
+        """The rollup's buckets equal those of one concatenated stream
+        — per-connection histograms never average percentiles."""
+        metrics = ServerMetrics(clock=FakeClock())
+        closed = Log2Histogram()
+        live = Log2Histogram()
+        reference = Log2Histogram()
+        for value in (3, 9, 81, 6561):
+            metrics.observe("hit", value, closed)
+            reference.record(value)
+        for value in (2, 4, 8):
+            metrics.observe("hit", value, live)
+            reference.record(value)
+        metrics.retire_connection(closed)
+        rollup = metrics.rollup(live_hists=[live])
+        assert rollup.counts == reference.counts
+        assert rollup.count == reference.count
+        for p in (50, 90, 99):
+            assert rollup.percentile(p) == reference.percentile(p)
+
+    def test_snapshot_splices_extra_sections(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        snapshot = metrics.snapshot(queue={"depth": 2, "limit": 64},
+                                    draining=False)
+        assert snapshot["queue"] == {"depth": 2, "limit": 64}
+        assert snapshot["draining"] is False
+
+    def test_uptime_tracks_clock(self):
+        clock = FakeClock()
+        metrics = ServerMetrics(clock=clock)
+        clock.t += 12.5
+        assert metrics.snapshot()["uptime_s"] == 12.5

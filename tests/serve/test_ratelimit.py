@@ -1,0 +1,62 @@
+"""Token-bucket rate limiting with an injected clock."""
+
+from repro.serve.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+class TestTokenBucket:
+    def test_burst_defaults_to_rate(self):
+        assert TokenBucket(8.0, clock=FakeClock()).burst == 8.0
+        # ... but never below one whole token.
+        assert TokenBucket(0.25, clock=FakeClock()).burst == 1.0
+
+    def test_admits_until_burst_is_spent(self):
+        bucket = TokenBucket(1.0, burst=3, clock=FakeClock())
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+        assert bucket.admitted == 3
+        assert bucket.rejected == 1
+
+    def test_refills_continuously_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, burst=2, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)                      # +1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=2, clock=clock)
+        clock.advance(60)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(0.0, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.rejected == 0
+
+    def test_cost_spends_multiple_tokens(self):
+        bucket = TokenBucket(1.0, burst=5, clock=FakeClock())
+        assert bucket.try_acquire(cost=4)
+        assert not bucket.try_acquire(cost=2)
+        assert bucket.try_acquire(cost=1)
+
+    def test_clock_going_backwards_is_harmless(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(-50)
+        assert not bucket.try_acquire()

@@ -1,0 +1,242 @@
+"""Single-flight collapsing: one execution, N-1 followers.
+
+The unit half exercises :class:`repro.serve.flight.SingleFlight`
+directly; the end-to-end half proves the headline property through the
+real server: concurrent identical requests from *mixed* clients —
+blocking-socket threads and asyncio connections — produce exactly one
+execution, N-1 ``deduped`` responses, and byte-identical payloads;
+and a failing leader shares its typed failure with every follower
+instead of hanging them or re-executing.
+"""
+
+import asyncio
+import threading
+
+from repro.exp.job import canonical_json
+from repro.serve.flight import SingleFlight
+from repro.serve.server import SweepServer
+
+from tests.serve import harness
+
+
+class TestSingleFlightUnit:
+    def test_leader_runs_factory_once(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = []
+            gate = asyncio.Event()
+
+            async def execute():
+                calls.append(1)
+                await gate.wait()
+                return {"status": "ok", "value": 42}
+
+            waiters = [asyncio.ensure_future(
+                flights.run("hash", execute)) for _ in range(8)]
+            assert await harness.eventually(lambda: flights.deduped == 7)
+            assert len(flights) == 1
+            gate.set()
+            outcomes = await asyncio.gather(*waiters)
+            return calls, outcomes, flights
+
+        calls, outcomes, flights = harness.run(scenario())
+        assert len(calls) == 1
+        assert flights.started == 1
+        assert flights.deduped == 7
+        results = [result for result, _leader in outcomes]
+        assert all(result is results[0] for result in results)
+        assert sorted(leader for _result, leader in outcomes) == (
+            [False] * 7 + [True])
+        assert len(flights) == 0            # table empty after landing
+
+    def test_sequential_requests_each_lead(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def execute():
+                return {"status": "ok"}
+
+            first = await flights.run("k", execute)
+            second = await flights.run("k", execute)
+            return first, second, flights
+
+        first, second, flights = harness.run(scenario())
+        assert first[1] and second[1]       # no open flight to join
+        assert flights.started == 2
+        assert flights.deduped == 0
+
+    def test_failure_payload_is_shared(self):
+        async def scenario():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+
+            async def execute():
+                await gate.wait()
+                return {"status": "failed", "kind": "timeout",
+                        "message": "too slow"}
+
+            waiters = [asyncio.ensure_future(flights.run("k", execute))
+                       for _ in range(3)]
+            assert await harness.eventually(lambda: flights.deduped == 2)
+            gate.set()
+            return await asyncio.gather(*waiters)
+
+        outcomes = harness.run(scenario())
+        assert all(result["kind"] == "timeout"
+                   for result, _leader in outcomes)
+
+    def test_cancelling_one_waiter_keeps_the_flight(self):
+        async def scenario():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+
+            async def execute():
+                await gate.wait()
+                return {"status": "ok"}
+
+            keeper = asyncio.ensure_future(flights.run("k", execute))
+            leaver = asyncio.ensure_future(flights.run("k", execute))
+            assert await harness.eventually(lambda: flights.deduped == 1)
+            leaver.cancel()
+            await asyncio.sleep(0.01)
+            assert flights.cancelled == 0   # keeper still listening
+            gate.set()
+            result, _leader = await keeper
+            return result, flights
+
+        result, flights = harness.run(scenario())
+        assert result == {"status": "ok"}
+        assert flights.cancelled == 0
+
+    def test_last_waiter_leaving_cancels_the_execution(self):
+        async def scenario():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+            finished = []
+
+            async def execute():
+                await gate.wait()
+                finished.append(1)
+                return {"status": "ok"}
+
+            waiters = [asyncio.ensure_future(flights.run("k", execute))
+                       for _ in range(2)]
+            assert await harness.eventually(lambda: flights.deduped == 1)
+            for waiter in waiters:
+                waiter.cancel()
+            assert await harness.eventually(lambda: len(flights) == 0)
+            return finished, flights
+
+        finished, flights = harness.run(scenario())
+        assert finished == []               # execution never completed
+        assert flights.cancelled == 1
+
+    def test_drain_returns_leftovers_at_deadline(self):
+        async def scenario():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+
+            async def execute():
+                await gate.wait()
+                return {}
+
+            waiter = asyncio.ensure_future(flights.run("k", execute))
+            await asyncio.sleep(0)
+            loop = asyncio.get_running_loop()
+            leftover = await flights.drain(deadline=loop.time() + 0.05)
+            gate.set()
+            await waiter
+            drained = await flights.drain(deadline=loop.time() + 1.0)
+            return leftover, drained
+
+        leftover, drained = harness.run(scenario())
+        assert leftover == 1
+        assert drained == 0
+
+
+class TestSingleFlightEndToEnd:
+    def test_mixed_thread_and_asyncio_clients_collapse(self, tmp_path):
+        """50 concurrent identical cold requests — half from blocking
+        socket threads, half from asyncio connections — execute once;
+        the other 49 are deduped; every payload is byte-identical."""
+        socket_path = str(tmp_path / "april.sock")
+        threads_n, async_n = 25, 25
+        spec = harness.cold_source_spec(7)
+
+        async def scenario():
+            dispatcher = harness.GatedDispatcher()
+            server = SweepServer(socket_path=socket_path, cache=None,
+                                 dispatcher=dispatcher)
+
+            async def clients():
+                thread_results = [None] * threads_n
+                threads = [
+                    threading.Thread(
+                        target=harness.raw_request,
+                        args=(socket_path,
+                              {"op": "job", "id": "t%d" % index,
+                               "job": spec},
+                              thread_results, index))
+                    for index in range(threads_n)]
+                for thread in threads:
+                    thread.start()
+                tasks = [asyncio.ensure_future(harness.one_shot(
+                    socket_path,
+                    {"op": "job", "id": "a%d" % index, "job": spec}))
+                    for index in range(async_n)]
+                # Freeze: one leader in the pool, everyone else joined.
+                assert await harness.eventually(
+                    lambda: dispatcher.calls == 1
+                    and server.flights.deduped == threads_n + async_n - 1)
+                dispatcher.gate.set()
+                async_results = await asyncio.gather(*tasks)
+                assert await harness.eventually(
+                    lambda: not any(t.is_alive() for t in threads))
+                return thread_results + list(async_results), dispatcher
+
+            return await harness.serving(server, clients)
+
+        responses, dispatcher = harness.run(scenario())
+        assert len(responses) == threads_n + async_n
+        assert all(response["status"] == "ok" for response in responses)
+        served = [response["served"] for response in responses]
+        assert served.count("executed") == 1
+        assert served.count("deduped") == threads_n + async_n - 1
+        assert dispatcher.calls == 1        # the pool saw one job
+        payloads = {canonical_json(response["result"])
+                    for response in responses}
+        assert len(payloads) == 1           # byte-identical results
+
+    def test_leader_failure_reaches_every_follower(self, tmp_path):
+        """A failing leader doesn't hang followers or re-execute: all
+        N get the same typed failure from the one run."""
+        socket_path = str(tmp_path / "april.sock")
+        spec = {"source": "(define (main) 42)", "expect": 43,
+                "processors": 1}
+
+        async def scenario():
+            dispatcher = harness.GatedDispatcher()
+            server = SweepServer(socket_path=socket_path, cache=None,
+                                 dispatcher=dispatcher)
+
+            async def clients():
+                tasks = [asyncio.ensure_future(harness.one_shot(
+                    socket_path,
+                    {"op": "job", "id": index, "job": spec}))
+                    for index in range(5)]
+                assert await harness.eventually(
+                    lambda: dispatcher.calls == 1
+                    and server.flights.deduped == 4)
+                dispatcher.gate.set()
+                return await asyncio.gather(*tasks), dispatcher
+
+            return await harness.serving(server, clients)
+
+        responses, dispatcher = harness.run(scenario())
+        assert dispatcher.calls == 1
+        assert all(response["status"] == "failed"
+                   for response in responses)
+        assert all(response["kind"] == "WorkloadCheckError"
+                   for response in responses)
+        served = sorted(response["served"] for response in responses)
+        assert served == ["deduped"] * 4 + ["executed"]
