@@ -36,15 +36,24 @@ Subcommands::
                 [--queue-limit N] [--rate R] [--burst N] [--timeout S]
                 [--cache-dir DIR] [--no-cache] [--hot-entries N]
                 [--drain-timeout S] [--metrics-out FILE]
+                [--trace-ring N] [--slow-log FILE] [--slow-ms N]
+                [--trace-perfetto FILE]
                 # long-running sweep service: NDJSON job specs over a
                 # unix socket, single-flight dedupe, shared result
                 # cache, backpressure + rate limiting, graceful
-                # SIGTERM drain, `metrics` op with p50/p90/p99
+                # SIGTERM drain, `metrics` op with p50/p90/p99,
+                # per-request span tracing served by the `trace` op,
+                # NDJSON slow-request log, Perfetto server timeline
     april loadgen [--socket PATH] [--tcp HOST:PORT] [--rate R]
                   [--requests N] [--connections N] [--hot-ratio F]
                   [--seed N] [--dedupe-burst N] [--json] [--out FILE]
                   # spray a hot/cold job mix at a running server and
                   # report achieved RPS, hit/dedupe ratios, latency
+    april top [--socket PATH] [--tcp HOST:PORT] [--interval S]
+              [--count N] [--once] [--plain]
+              # live dashboard over `metrics` + `trace`: req/s,
+              # hit/dedupe ratios, queue depth, p50/p99 by served
+              # axis, slowest in-flight and completed requests
 
 The grid commands (``table3``, ``speedup``, ``sweep``) run through the
 :mod:`repro.exp` experiment engine: ``--jobs N`` fans cells out to N
@@ -435,6 +444,24 @@ def _cmd_serve(args):
         print("april serve: draining...", file=sys.stderr)
         leftover = await server.stop(drain_timeout_s=args.drain_timeout)
         snapshot = server.metrics_snapshot()
+        if args.trace_perfetto:
+            trace = server.trace_perfetto()
+            if trace is None:
+                print("note: --trace-perfetto ignored (tracing disabled)",
+                      file=sys.stderr)
+            else:
+                try:
+                    with open(args.trace_perfetto, "w") as handle:
+                        json.dump(trace, handle, sort_keys=True)
+                        handle.write("\n")
+                except OSError as exc:
+                    print("error: cannot write %s: %s"
+                          % (args.trace_perfetto, exc.strerror),
+                          file=sys.stderr)
+                    return 1
+                print("wrote server timeline to %s (open in "
+                      "ui.perfetto.dev)" % args.trace_perfetto,
+                      file=sys.stderr)
         if args.metrics_out:
             try:
                 with open(args.metrics_out, "w") as handle:
@@ -502,6 +529,35 @@ def _cmd_loadgen(args):
     else:
         print(render_loadgen(report))
     return 0 if report["statuses"]["error"] == 0 else 1
+
+
+def _cmd_top(args):
+    """The live dashboard (``april top``)."""
+    import asyncio
+
+    from repro.serve.top import run_top
+
+    host = port = None
+    socket_path = args.socket
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print("error: --tcp wants HOST:PORT, got %r" % args.tcp,
+                  file=sys.stderr)
+            return 2
+        socket_path = None
+
+    count = 1 if args.once else args.count
+    plain = args.plain or args.once
+    try:
+        frames = asyncio.run(run_top(
+            socket_path=socket_path, host=host, port=port,
+            interval_s=args.interval, count=count, plain=plain))
+    except KeyboardInterrupt:
+        return 0
+    return 0 if frames else 1
 
 
 def _add_machine_options(cmd):
@@ -721,6 +777,23 @@ def build_parser():
     serve_cmd.add_argument("--metrics-out", metavar="FILE",
                            help="write the final metrics snapshot as JSON "
                                 "on clean shutdown")
+    serve_cmd.add_argument("--trace-ring", type=int, default=512,
+                           metavar="N",
+                           help="completed request traces kept after their "
+                                "connections close (default 512; 0 turns "
+                                "request tracing off entirely)")
+    serve_cmd.add_argument("--slow-log", metavar="FILE",
+                           help="append every request slower than --slow-ms "
+                                "as one NDJSON trace line (flushed live)")
+    serve_cmd.add_argument("--slow-ms", type=float, default=1000.0,
+                           metavar="N",
+                           help="slow-log threshold in milliseconds of "
+                                "service latency (default 1000)")
+    serve_cmd.add_argument("--trace-perfetto", metavar="FILE",
+                           help="on drain, write every recorded request "
+                                "trace as a Perfetto/Chrome timeline "
+                                "(connection + worker tracks, dedupe "
+                                "arrows)")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     lg = sub.add_parser(
@@ -756,6 +829,28 @@ def build_parser():
     lg.add_argument("--out", metavar="FILE",
                     help="write the JSON report here")
     lg.set_defaults(func=_cmd_loadgen)
+
+    top_cmd = sub.add_parser(
+        "top", help="live dashboard for a running april serve: req/s, "
+                    "ratios, queue depth, p50/p99 by served axis, "
+                    "slowest in-flight and completed requests")
+    top_cmd.add_argument("--socket", metavar="PATH", default="april.sock",
+                         help="server unix socket (default april.sock)")
+    top_cmd.add_argument("--tcp", metavar="HOST:PORT",
+                         help="connect over TCP instead of the unix socket")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="seconds between polls (default 2)")
+    top_cmd.add_argument("--count", type=int, default=None, metavar="N",
+                         help="render N frames then exit (default: until "
+                              "interrupted)")
+    top_cmd.add_argument("--once", action="store_true",
+                         help="one frame, no screen clearing (= --count 1 "
+                              "--plain)")
+    top_cmd.add_argument("--plain", action="store_true",
+                         help="append frames instead of redrawing the "
+                              "screen (for logs/pipes)")
+    top_cmd.set_defaults(func=_cmd_top)
     return parser
 
 

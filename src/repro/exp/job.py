@@ -153,7 +153,16 @@ class Job:
         return self._hash
 
     def payload(self):
-        """The plain-dict worker input (see ``alewife.execute_payload``)."""
+        """The plain-dict worker input (see ``alewife.execute_payload``).
+
+        Transport layers may add out-of-band knobs before dispatch —
+        the serve dispatcher injects ``trace_spans: True`` so the
+        worker self-times compile/run/store and returns the durations
+        as a ``"spans"`` list.  Such knobs never enter
+        :meth:`content_hash` (it is computed from the fields here), so
+        a traced and an untraced run of the same job share one cache
+        entry.
+        """
         data = {
             "kind": self.kind,
             "source": self.source,

@@ -31,6 +31,30 @@ class JobTimeout(Exception):
     """Internal: the worker's ``SIGALRM`` fired for the current job."""
 
 
+class WorkerSpans:
+    """Worker-side phase timer for traced jobs (``trace_spans`` payload
+    knob, set by the serve dispatcher).
+
+    Boundary-based like :class:`repro.serve.trace.RequestTrace`: each
+    ``mark(name)`` closes the phase that just ran, so the recorded
+    durations tile the worker's wall time exactly.  Only *durations*
+    (integer microseconds) are exported — they are meaningful across a
+    process boundary where absolute monotonic timestamps are not.
+    """
+
+    __slots__ = ("spans", "_t0", "_last")
+
+    def __init__(self):
+        self._t0 = time.monotonic()
+        self._last = 0
+        self.spans = []
+
+    def mark(self, name):
+        now = round((time.monotonic() - self._t0) * 1_000_000)
+        self.spans.append([name, now - self._last])
+        self._last = now
+
+
 class _Alarm:
     """Context manager arming a per-job wall-clock alarm (no-op when
     ``seconds`` is falsy, ``SIGALRM`` is unavailable, or we are not on
@@ -76,10 +100,16 @@ def execute_payload(payload):
                 return run(payload)
             if kind == "call":
                 import importlib
+                spans = (WorkerSpans() if payload.get("trace_spans")
+                         else None)
                 module = importlib.import_module(payload["module"])
                 func = getattr(module, payload["func"])
-                return {"status": "ok",
-                        "value": func(**payload.get("kwargs", {}))}
+                out = {"status": "ok",
+                       "value": func(**payload.get("kwargs", {}))}
+                if spans is not None:
+                    spans.mark("run")
+                    out["spans"] = spans.spans
+                return out
             return _failed("bad-job", "unknown job kind %r" % kind)
     except JobTimeout:
         return _failed("timeout", "exceeded %ss wall-clock timeout"

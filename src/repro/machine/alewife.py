@@ -568,6 +568,15 @@ def execute_payload(payload):
     from repro.obs.report import machine_report
     from repro.obs.session import for_job
 
+    spans = None
+    if payload.get("trace_spans"):
+        # Serve-injected knob: self-time compile/run/store so the
+        # request trace can nest worker sub-spans under its execute
+        # span.  runner is already imported — it is the worker entry
+        # that called us.
+        from repro.exp.runner import WorkerSpans
+        spans = WorkerSpans()
+
     compiled = compile_source(
         payload["source"],
         mode=payload.get("mode", "eager"),
@@ -584,10 +593,14 @@ def execute_payload(payload):
                              fastpath=payload.get("fastpath", True))
     if observation is not None:
         observation.attach(machine)
+    if spans is not None:
+        spans.mark("compile")
     result = machine.run(
         entry=compiled.entry_label(payload.get("entry", "main")),
         args=tuple(payload.get("args", ())),
         max_cycles=payload.get("max_cycles", 200_000_000))
+    if spans is not None:
+        spans.mark("run")
 
     expect = payload.get("expect")
     if expect is not None and result.value != expect:
@@ -614,4 +627,7 @@ def execute_payload(payload):
                 for kind, h in
                 sorted(observation.hist.by_kind.items())
             }
+    if spans is not None:
+        spans.mark("store")         # report/stats assembly
+        out["spans"] = spans.spans
     return out

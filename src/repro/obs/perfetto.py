@@ -25,6 +25,26 @@ Mapping:
   reload — each wait is a clickable arrow in ui.perfetto.dev.
 
 Simulated cycles are written one-to-one as trace microseconds.
+
+:func:`server_perfetto_trace` reuses the same format for a different
+timeline: the ``april serve`` request traces recorded by
+:mod:`repro.serve.trace`.  There the mapping is
+
+* process 1 (*connections*): one thread per client connection, each
+  request an enclosing slice with its ladder spans (parse/admit/
+  validate/hot/disk/flight or queue+execute/respond) nested inside;
+* process 2 (*workers*): execute spans packed onto worker lanes by
+  greedy interval assignment — the recorder stores no worker identity,
+  so the lanes approximate pool concurrency (an execute span's end is
+  marked when the leader coroutine resumes, which a saturated event
+  loop delays past the worker's actual finish) — with the
+  worker-reported compile/run/store sub-spans nested inside;
+* flow arrows ("s"/"f", cat ``dedupe``) from the end of a leader's
+  execute span to the end of each deduped follower's flight span —
+  every dedupe is a clickable arrow from the work to its free riders.
+
+Span offsets are real microseconds (monotonic clock), so the
+``displayTimeUnit`` stays honest.
 """
 
 from repro.obs.events import EventKind
@@ -233,5 +253,141 @@ def perfetto_trace(bus, num_nodes, end_cycle, sampler=None,
             "end_cycle": end_cycle,
             "events_recorded": len(bus),
             "events_dropped": bus.dropped,
+        },
+    }
+
+
+# -- server timelines ------------------------------------------------------
+
+_CONN_PID = 1
+_WORKER_PID = 2
+
+
+def _pack_lanes(intervals):
+    """Greedily assign ``(start, end, payload)`` intervals to the
+    first free lane; returns ``(lane, payload)`` pairs.  Deterministic:
+    intervals are processed sorted by ``(start, end)``."""
+    lane_free_at = []
+    assigned = []
+    for start, end, payload in sorted(intervals,
+                                      key=lambda item: item[:2]):
+        for lane, free_at in enumerate(lane_free_at):
+            if free_at <= start:
+                lane_free_at[lane] = end
+                break
+        else:
+            lane = len(lane_free_at)
+            lane_free_at.append(end)
+        assigned.append((lane, payload))
+    return assigned
+
+
+def server_perfetto_trace(traces):
+    """Build the Chrome trace dict for ``april serve`` request traces.
+
+    Args:
+        traces: completed trace dicts (:meth:`RequestTrace.to_dict`
+            shapes, as served by the ``trace`` op), any order.
+
+    One slice lane per connection, execute spans re-packed onto worker
+    lanes, and a flow arrow per dedupe from the leader's execute span
+    to the follower's flight span.  Purely a function of its input —
+    identical traces yield byte-identical JSON.
+    """
+    traces = sorted((trace for trace in traces
+                     if not trace.get("inflight")),
+                    key=lambda trace: trace["id"])
+    trace_events = [
+        _metadata(_CONN_PID, None, "connections", "process_name"),
+        _metadata(_WORKER_PID, None, "workers", "process_name"),
+    ]
+
+    span_end = {}          # (trace id, span name) -> absolute end us
+    executions = []        # (start, end, trace) for worker-lane packing
+    for trace in traces:
+        conn = trace["conn"]
+        base = trace["start_us"]
+        trace_events.append(_metadata(_CONN_PID, conn, "conn %d" % conn,
+                                      "thread_name"))
+        trace_events.append({
+            "ph": "X", "pid": _CONN_PID, "tid": conn, "ts": base,
+            "dur": trace.get("latency_us", 0), "cat": "request",
+            "name": "req %s" % trace["id"],
+            "args": {"trace": trace["id"],
+                     "request_id": trace.get("request_id"),
+                     "status": trace.get("status"),
+                     "served": trace.get("served")},
+        })
+        for span in trace["spans"]:
+            start = base + span["start_us"]
+            trace_events.append({
+                "ph": "X", "pid": _CONN_PID, "tid": conn, "ts": start,
+                "dur": span["dur_us"], "cat": "span", "name": span["name"],
+            })
+            span_end[(trace["id"], span["name"])] = start + span["dur_us"]
+            if span["name"] == "execute":
+                executions.append((start, start + span["dur_us"], trace))
+
+    seen_lanes = set()
+    for lane, trace in _pack_lanes(executions):
+        if lane not in seen_lanes:
+            seen_lanes.add(lane)
+            trace_events.append(_metadata(_WORKER_PID, lane,
+                                          "worker lane %d" % lane,
+                                          "thread_name"))
+        base = trace["start_us"]
+        span = next(s for s in trace["spans"] if s["name"] == "execute")
+        start = base + span["start_us"]
+        trace_events.append({
+            "ph": "X", "pid": _WORKER_PID, "tid": lane, "ts": start,
+            "dur": span["dur_us"], "cat": "execute",
+            "name": "req %s" % trace["id"],
+            "args": {"trace": trace["id"]},
+        })
+        # Worker-reported sub-spans (own clock): laid out sequentially
+        # from the execute start, clipped to the execute span.
+        cursor = start
+        for child in trace.get("children", ()):
+            if child["parent"] != "execute":
+                continue
+            duration = min(child["dur_us"],
+                           start + span["dur_us"] - cursor)
+            if duration < 0:
+                break
+            trace_events.append({
+                "ph": "X", "pid": _WORKER_PID, "tid": lane, "ts": cursor,
+                "dur": duration, "cat": "worker", "name": child["name"],
+            })
+            cursor += duration
+
+    # Dedupe arrows: leader's execute -> follower's flight wait.
+    for trace in traces:
+        leader_id = trace.get("link")
+        if leader_id is None:
+            continue
+        follower_end = span_end.get((trace["id"], "flight"))
+        leader_end = span_end.get((leader_id, "execute"))
+        if follower_end is None or leader_end is None:
+            continue
+        leader_conn = next(t["conn"] for t in traces
+                           if t["id"] == leader_id)
+        ident = "dedupe-%s" % trace["id"]
+        trace_events.append({
+            "ph": "s", "cat": "dedupe", "id": ident, "pid": _CONN_PID,
+            "tid": leader_conn, "ts": leader_end, "name": "dedupe",
+            "args": {"leader": leader_id, "follower": trace["id"]},
+        })
+        trace_events.append({
+            "ph": "f", "bp": "e", "cat": "dedupe", "id": ident,
+            "pid": _CONN_PID, "tid": trace["conn"], "ts": follower_end,
+            "name": "dedupe",
+        })
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.serve (april serve request traces)",
+            "requests": len(traces),
         },
     }

@@ -22,6 +22,13 @@ p50/p90/p99 service latency via
 client spraying a configurable hot/cold mix at a target rate and
 reporting achieved RPS, hit/dedupe ratios, and the latency histogram.
 
+Every request is traced end-to-end (:mod:`repro.serve.trace`): exact
+monotonic-clock spans down the serve ladder whose durations sum to the
+recorded service latency *exactly*, a bounded flight recorder served
+back by the ``trace`` op, an NDJSON slow-request log, a Perfetto
+server-timeline export, and ``april top`` (:mod:`repro.serve.top`) as
+the live dashboard over ``metrics`` + ``trace``.
+
 Module map:
 
 * :mod:`repro.serve.protocol` — the NDJSON wire protocol: request
@@ -32,8 +39,11 @@ Module map:
   accounting and pool-level timeout.
 * :mod:`repro.serve.ratelimit` — the per-connection token bucket.
 * :mod:`repro.serve.metrics` — counters + latency-histogram rollups.
+* :mod:`repro.serve.trace` — request spans, the trace flight recorder,
+  the slow-request log.
 * :mod:`repro.serve.server` — the asyncio server tying it together.
 * :mod:`repro.serve.loadgen` — the load generator client.
+* :mod:`repro.serve.top` — the live terminal dashboard client.
 """
 
 from repro.serve.dispatch import Dispatcher
@@ -41,11 +51,15 @@ from repro.serve.flight import SingleFlight
 from repro.serve.metrics import ServerMetrics
 from repro.serve.ratelimit import TokenBucket
 from repro.serve.server import SweepServer
+from repro.serve.trace import RequestTrace, SlowLog, TraceStore
 
 __all__ = [
     "Dispatcher",
+    "RequestTrace",
     "ServerMetrics",
     "SingleFlight",
+    "SlowLog",
     "SweepServer",
     "TokenBucket",
+    "TraceStore",
 ]

@@ -110,14 +110,22 @@ class Dispatcher:
 
     # -- execution ---------------------------------------------------------
 
-    async def execute(self, payload):
+    async def execute(self, payload, spans=False):
         """Run one job payload in the pool; always returns a payload
         dict (typed failure on timeout/crash), except for cancellation
         which propagates so the single-flight layer can drop the job.
+
+        With ``spans=True`` the worker self-times its phases
+        (compile/run/store, own monotonic clock) and carries them back
+        as a ``"spans"`` list inside the result payload — valid across
+        both thread and process modes because only *durations* cross
+        the process boundary, never absolute timestamps.
         """
         payload = dict(payload)
         if self.timeout_s:
             payload["timeout_s"] = self.timeout_s
+        if spans:
+            payload["trace_spans"] = True
         loop = asyncio.get_running_loop()
         pool = self._ensure_pool()
         self._account(+1)

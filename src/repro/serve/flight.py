@@ -30,11 +30,12 @@ import asyncio
 class _Flight:
     """One in-progress execution and the requesters awaiting it."""
 
-    __slots__ = ("task", "waiters")
+    __slots__ = ("task", "waiters", "meta")
 
-    def __init__(self, task):
+    def __init__(self, task, meta=None):
         self.task = task
         self.waiters = 0
+        self.meta = meta
 
 
 class SingleFlight:
@@ -54,21 +55,30 @@ class SingleFlight:
         """Would a request for ``key`` start a new flight right now?"""
         return key not in self._flights
 
-    async def run(self, key, factory):
+    def flight_meta(self, key):
+        """The leader's ``meta`` token for the open flight on ``key``
+        (``None`` when no flight is open or none was attached) — how a
+        follower's trace learns its leader's trace id."""
+        flight = self._flights.get(key)
+        return flight.meta if flight is not None else None
+
+    async def run(self, key, factory, meta=None):
         """Await the result for ``key``, starting a flight if none is
         open.
 
         ``factory`` is a no-argument callable returning the execution
-        coroutine; it is invoked only by the leader.  Returns
-        ``(result, leader)`` where ``leader`` says whether this caller
-        started the execution.  Cancellation of this coroutine (client
-        disconnect) detaches one waiter; the underlying execution is
-        cancelled only when no waiters remain.
+        coroutine; it is invoked only by the leader, whose ``meta``
+        (e.g. its trace id) is attached to the flight for followers to
+        read via :meth:`flight_meta`.  Returns ``(result, leader)``
+        where ``leader`` says whether this caller started the
+        execution.  Cancellation of this coroutine (client disconnect)
+        detaches one waiter; the underlying execution is cancelled
+        only when no waiters remain.
         """
         flight = self._flights.get(key)
         if flight is None:
             leader = True
-            flight = _Flight(asyncio.ensure_future(factory()))
+            flight = _Flight(asyncio.ensure_future(factory()), meta=meta)
             self._flights[key] = flight
             flight.task.add_done_callback(
                 lambda _task: self._forget(key, flight))

@@ -6,9 +6,12 @@ millions-of-users-asking-the-same-questions shape) and **cold** specs
 (unique content hashes, each a real simulator execution) at a target
 aggregate rate over N connections, then reports what the service
 actually delivered: achieved requests/s, hit/dedupe ratios, and the
-client-observed latency histogram (same
-:class:`~repro.obs.hist.Log2Histogram` streaming percentiles the
-server keeps).
+client-observed latency histogram.  Latency memory is O(1) per
+connection: each read worker records into its own
+:class:`~repro.obs.hist.Log2Histogram`, and the report merges them
+bucket-wise — an *exact* merge, so the rolled-up percentiles equal
+those of the concatenated streams (the same discipline the server
+applies to its per-connection histograms).
 
 Pacing is open-loop: request *k* of the run is scheduled at
 ``t0 + k/rate`` on a shared ticket counter, whichever connection is
@@ -73,6 +76,7 @@ class _Conn:
         self.writer = writer
         self.sent = 0
         self.received = 0
+        self.hist = Log2Histogram()        # this connection's latencies
         self.window = asyncio.Semaphore(MAX_OUTSTANDING)
 
 
@@ -104,7 +108,7 @@ class LoadGenerator:
         return cold_spec(self.nonce, ticket, program=self.program,
                          args=self.cold_args)
 
-    def tally(self, response, latency_us):
+    def tally(self, response, latency_us, hist=None):
         status = response.get("status", "error")
         if status not in self.statuses:
             status = "error"
@@ -115,7 +119,14 @@ class LoadGenerator:
         served = response.get("served")
         if status == "ok" and served in self.served:
             self.served[served] += 1
-        self.hist.record(latency_us)
+        (hist if hist is not None else self.hist).record(latency_us)
+
+    def merge_hists(self, conns):
+        """Fold every connection's histogram into the run rollup —
+        exact bucket-wise merge, identical percentiles to a single
+        shared histogram."""
+        for conn in conns:
+            self.hist.merge(conn.hist)
 
 
 async def _send_worker(gen, conn, clock):
@@ -150,7 +161,7 @@ async def _read_worker(gen, conn, clock):
         sent_at = gen.pending.pop(response.get("id"), None)
         latency_us = (int((clock() - sent_at) * 1_000_000)
                       if sent_at is not None else 0)
-        gen.tally(response, latency_us)
+        gen.tally(response, latency_us, hist=conn.hist)
         conn.received += 1
         conn.window.release()
 
@@ -228,6 +239,7 @@ async def run_loadgen(socket_path=None, host=None, port=None, *,
         task.cancel()
     for conn in conns:
         conn.writer.close()
+    gen.merge_hists(conns)
 
     wall_s = max(gen.finished_at - gen.started_at, 1e-9)
     completed = sum(gen.statuses.values())

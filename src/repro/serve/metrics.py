@@ -14,7 +14,11 @@ fallacy.
 A second axis keys histograms by how the request was served
 (``hit`` / ``executed`` / ``deduped`` / ``failed`` / ``rejected``),
 which is the number that makes the caching story visible: hits are
-microseconds, executions are milliseconds-to-seconds.
+microseconds, executions are milliseconds-to-seconds.  All five
+:data:`SERVED_AXES` appear in every snapshot — empty histograms and
+all — so dashboards and ``april top`` bind to a stable schema instead
+of key-probing; axes outside the standard five (``error``) still
+appear lazily once observed.
 """
 
 import time
@@ -40,6 +44,9 @@ COUNTER_NAMES = (
     "timeouts",              # pool-side job timeouts
 )
 
+#: Served axes every snapshot's ``latency_by_served`` always carries.
+SERVED_AXES = ("hit", "executed", "deduped", "failed", "rejected")
+
 
 class ServerMetrics:
     """Counters + latency histograms; the ``metrics`` op's backing."""
@@ -47,7 +54,7 @@ class ServerMetrics:
     def __init__(self, clock=time.monotonic):
         self.counts = dict.fromkeys(COUNTER_NAMES, 0)
         self.retired = Log2Histogram()
-        self.by_served = {}
+        self.by_served = {axis: Log2Histogram() for axis in SERVED_AXES}
         self.started_at = clock()
         self._clock = clock
 

@@ -13,6 +13,16 @@ out of order::
     {"op": "job", "id": 8, "job": {"source": "(define (main) 42)"}}
     {"op": "metrics", "id": 9}
     {"op": "ping"}
+    {"op": "trace", "id": 10, "last": 5}
+    {"op": "trace", "id": 11, "trace_id": 42}
+    {"op": "trace", "id": 12, "slowest": 3}
+
+The ``trace`` op reads the request flight recorder
+(:mod:`repro.serve.trace`): ``last`` N completed traces (default 10),
+``slowest`` K by service latency, or one exact trace by ``trace_id``
+(the ``trace`` field every job response carries).  The response always
+includes the in-flight table and the recorder's counters; pulling a
+completed trace twice yields byte-identical JSON.
 
 Job specs come in two forms.  The **named-workload form** (key
 ``program``) names one cell of the sweep vocabulary — program, system
@@ -55,7 +65,7 @@ PROTOCOL = "april-serve/1"
 MAX_LINE_BYTES = 1 << 20
 
 #: Request types the server understands.
-OPS = ("job", "metrics", "ping")
+OPS = ("job", "metrics", "ping", "trace")
 
 #: Keys a source-form job spec may carry (see Job.from_spec).
 SOURCE_KEYS = frozenset((

@@ -44,6 +44,11 @@ from repro.serve.dispatch import Dispatcher
 from repro.serve.flight import SingleFlight
 from repro.serve.metrics import ServerMetrics
 from repro.serve.ratelimit import TokenBucket
+from repro.serve.trace import SlowLog, TraceStore
+
+
+def _no_mark(name):
+    """Span sink for untraced requests (``--trace-ring 0``)."""
 
 
 class _LRU:
@@ -140,6 +145,7 @@ class SweepServer:
                  workers=2, worker_mode="process", queue_limit=64,
                  rate=0.0, burst=None, timeout_s=None, cache=None,
                  hot_entries=512, spec_entries=512, dispatcher=None,
+                 trace_ring=512, slow_log=None, slow_ms=1000.0,
                  clock=time.monotonic):
         if socket_path is None and port is None:
             raise ServeError("serve needs a unix socket path or a TCP port")
@@ -157,6 +163,9 @@ class SweepServer:
             workers=workers, timeout_s=timeout_s, mode=worker_mode,
             clock=clock)
         self.metrics = ServerMetrics(clock=clock)
+        self.traces = (TraceStore(retired=trace_ring, clock=clock)
+                       if trace_ring and trace_ring > 0 else None)
+        self.slow = SlowLog(slow_log, slow_ms) if slow_log else None
         self.draining = False
         self._clock = clock
         self._connections = set()
@@ -196,6 +205,8 @@ class SweepServer:
             conn.close()
         await asyncio.sleep(0)                  # let handlers unwind
         self.dispatcher.shutdown(wait=(leftover == 0))
+        if self.slow is not None:
+            self.slow.close()
         if self.socket_path and os.path.exists(self.socket_path):
             try:
                 os.unlink(self.socket_path)
@@ -236,22 +247,34 @@ class SweepServer:
             self._connections.discard(conn)
             conn.close()
             self.metrics.retire_connection(conn.hist)
+            if self.traces is not None:
+                self.traces.retire_conn(conn.id)
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
     async def _serve_request(self, conn, line):
+        # Trace id is assigned at line-parse time: even a request that
+        # turns out malformed (or a ping) briefly owns one.
         start = self._clock()
+        trace = self.traces.begin(conn.id) if self.traces else None
         try:
             request = protocol.parse_request(line)
         except ServeRequestError as exc:
+            if trace is not None:
+                self.traces.discard(trace)
             self.metrics.bump("bad_requests")
             await conn.send(protocol.error_response(None, exc))
             return
         self.metrics.bump("requests")
         op = request.get("op", "job")
         request_id = request.get("id")
+        if op != "job":
+            # Introspection ops are not themselves traced: a polling
+            # `april top` must not wash real requests out of the rings.
+            if trace is not None:
+                self.traces.discard(trace)
         if op == "ping":
             await conn.send({"id": request_id, "status": "ok",
                              "op": "ping", "protocol": protocol.PROTOCOL})
@@ -261,12 +284,40 @@ class SweepServer:
                              "op": "metrics",
                              "metrics": self.metrics_snapshot()})
             return
-        response = await self._handle_job(conn, request)
-        latency_us = int((self._clock() - start) * 1_000_000)
-        self.metrics.observe(self._served_axis(response), latency_us,
-                             conn.hist)
+        if op == "trace":
+            await conn.send(self._trace_response(request))
+            return
+        if trace is not None:
+            trace.request_id = request_id
+            trace.mark("parse")
+        try:
+            response = await self._handle_job(conn, request, trace)
+        except asyncio.CancelledError:
+            # Client disconnect mid-request: freeze what we have so the
+            # flight recorder shows the abandoned request, then let the
+            # cancellation unwind.
+            if trace is not None and not trace.frozen:
+                trace.finish("cancelled")
+                self.traces.record(trace)
+            raise
+        axis = self._served_axis(response)
+        if trace is not None:
+            trace.finish(response["status"], served=axis)
+            latency_us = trace.latency_us
+            response["trace"] = trace.id
+        else:
+            latency_us = int((self._clock() - start) * 1_000_000)
+        self.metrics.observe(axis, latency_us, conn.hist)
         response["latency_us"] = latency_us
+        flush_start = self._clock()
         await conn.send(response)
+        if trace is not None:
+            # Socket-write time is the client's read speed, not service
+            # latency: recorded beside the spans, never inside them.
+            trace.flush_us = int((self._clock() - flush_start) * 1_000_000)
+            self.traces.record(trace)
+            if self.slow is not None:
+                self.slow.maybe_log(trace)
 
     @staticmethod
     def _served_axis(response):
@@ -277,33 +328,41 @@ class SweepServer:
 
     # -- the job ladder ----------------------------------------------------
 
-    async def _handle_job(self, conn, request):
+    async def _handle_job(self, conn, request, trace=None):
         request_id = request.get("id")
+        mark = trace.mark if trace is not None else _no_mark
         self.metrics.bump("jobs")
         if self.draining:
+            mark("admit")
             self.metrics.bump("rejected_draining")
             return protocol.rejected_response(
                 request_id, "draining", "server is draining for shutdown")
         if conn.bucket is not None and not conn.bucket.try_acquire():
+            mark("admit")
             self.metrics.bump("rejected_ratelimit")
             return protocol.rejected_response(
                 request_id, "rate-limited",
                 "connection exceeds %g requests/s" % self.rate)
+        mark("admit")
         try:
             content_hash, payload, cacheable = self.specs.resolve(
                 request.get("job"))
         except ServeRequestError as exc:
+            mark("validate")
             self.metrics.bump("bad_requests")
             return protocol.error_response(request_id, exc)
+        mark("validate")
 
         # Level 1+2: already computed, by anyone, ever.
         result = self.hot.get(content_hash) if cacheable else None
+        mark("hot")
         if result is not None:
             self.metrics.bump("hit_hot")
             return protocol.ok_response(request_id, content_hash, result,
                                         served="hit")
         if cacheable and self.cache is not None:
             result = self.cache.get(content_hash)
+            mark("disk")
             if result is not None and result.get("status") == "ok":
                 self.hot.put(content_hash, result)
                 self.metrics.bump("hit_disk")
@@ -312,17 +371,27 @@ class SweepServer:
 
         # Level 3+4: join the open flight, or become its leader —
         # backpressure applies only to new work (followers ride free).
-        if (self.flights.leading(content_hash)
-                and len(self.flights) >= self.queue_limit):
+        leading = self.flights.leading(content_hash)
+        if leading and len(self.flights) >= self.queue_limit:
             self.metrics.bump("rejected_overload")
             return protocol.rejected_response(
                 request_id, "overloaded",
                 "admission queue full (%d executions in flight)"
                 % len(self.flights))
+        # No awaits between the leading() check and flights.run, so a
+        # follower reliably reads its leader's trace id off the flight.
+        leader_trace = (None if leading
+                        else self.flights.flight_meta(content_hash))
         result, leader = await self.flights.run(
             content_hash,
             lambda: self._execute_and_store(content_hash, payload,
-                                            cacheable))
+                                            cacheable, trace),
+            meta=trace.id if trace is not None else None)
+        if trace is not None and not leader:
+            # The follower's whole wait is one span, linked to the
+            # leader's trace where the queue/execute detail lives.
+            trace.link_to(leader_trace)
+            trace.mark("flight")
         served = "executed" if leader else "deduped"
         if result.get("status") == "ok":
             return protocol.ok_response(request_id, content_hash, result,
@@ -331,9 +400,31 @@ class SweepServer:
         return protocol.failed_response(request_id, content_hash, result,
                                         served=served)
 
-    async def _execute_and_store(self, content_hash, payload, cacheable):
-        result = await self.dispatcher.execute(payload)
+    async def _execute_and_store(self, content_hash, payload, cacheable,
+                                 trace=None):
+        """Level 4, run only by a flight's leader: dispatch, then write
+        through the hot LRU and the disk cache.
+
+        The leader's trace is marked *here* (this coroutine runs as the
+        flight task on the same loop and clock): the segment since the
+        disk probe splits into pool-queue wait and worker execution at
+        the worker's self-reported wall time, and the worker's
+        compile/run/store sub-spans nest under the execute span.  The
+        ``"spans"`` key is popped before the payload is cached or
+        returned, so stored results and response bodies keep the exact
+        PR 8 shape.
+        """
+        result = await self.dispatcher.execute(payload,
+                                               spans=trace is not None)
         self.metrics.bump("executed")
+        worker_spans = (result.pop("spans", None)
+                        if isinstance(result, dict) else None)
+        if trace is not None:
+            worker_us = (sum(duration for _, duration in worker_spans)
+                         if worker_spans else None)
+            trace.mark_split("queue", "execute", worker_us)
+            for name, duration in worker_spans or ():
+                trace.child("execute", name, duration)
         if cacheable and result.get("status") == "ok":
             self.hot.put(content_hash, result)
             if self.cache is not None:
@@ -341,6 +432,44 @@ class SweepServer:
         return result
 
     # -- introspection -----------------------------------------------------
+
+    def _trace_response(self, request):
+        """The ``trace`` op: read the flight recorder.
+
+        Selectors: ``trace_id`` for one exact trace (completed or
+        in-flight), ``slowest`` for the K worst by service latency,
+        ``last`` for the N most recent (default 10).  The in-flight
+        table and recorder counters ride along on every response.
+        """
+        request_id = request.get("id")
+        if self.traces is None:
+            return {"id": request_id, "status": "ok", "op": "trace",
+                    "enabled": False, "traces": [], "inflight": []}
+        response = {"id": request_id, "status": "ok", "op": "trace",
+                    "enabled": True, "stats": self.traces.stats(),
+                    "inflight": self.traces.inflight_view()}
+        if "trace_id" in request:
+            trace = self.traces.find(request["trace_id"])
+            response["traces"] = [trace.to_dict()] if trace is not None \
+                else []
+        elif "slowest" in request:
+            response["traces"] = [trace.to_dict() for trace
+                                  in self.traces.slowest(request["slowest"])]
+        else:
+            response["traces"] = [trace.to_dict() for trace
+                                  in self.traces.last(request.get("last",
+                                                                  10))]
+        return response
+
+    def trace_perfetto(self):
+        """A Perfetto/Chrome trace of every stored request (see
+        :func:`repro.obs.perfetto.server_perfetto_trace`); ``None``
+        when tracing is disabled."""
+        if self.traces is None:
+            return None
+        from repro.obs.perfetto import server_perfetto_trace
+        return server_perfetto_trace(
+            [trace.to_dict() for trace in self.traces.completed()])
 
     def metrics_snapshot(self):
         """The JSON-ready ``metrics`` response body."""
@@ -362,6 +491,12 @@ class SweepServer:
                         "builds": self.specs.builds},
         )
         snapshot["counters"].update(counters_patch)
+        if self.traces is not None:
+            snapshot["trace"] = self.traces.stats()
+        if self.slow is not None:
+            snapshot["slow_log"] = {"path": self.slow.path,
+                                    "threshold_us": self.slow.threshold_us,
+                                    "logged": self.slow.logged}
         return snapshot
 
     def _cache_section(self):
@@ -391,4 +526,7 @@ def build_server(args, clock=time.monotonic):
         socket_path=args.socket, host=host or None, port=port,
         workers=args.workers, queue_limit=args.queue_limit,
         rate=args.rate, burst=args.burst, timeout_s=args.timeout,
-        cache=cache, hot_entries=args.hot_entries, clock=clock)
+        cache=cache, hot_entries=args.hot_entries,
+        trace_ring=getattr(args, "trace_ring", 512),
+        slow_log=getattr(args, "slow_log", None),
+        slow_ms=getattr(args, "slow_ms", 1000.0), clock=clock)

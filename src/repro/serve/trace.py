@@ -1,0 +1,315 @@
+"""End-to-end request tracing for ``april serve``.
+
+Every request gets a trace id at line-parse time and accumulates
+**spans** — exact, monotonic-clock phase timings — as it descends the
+serve ladder: ``parse`` (wire line -> request), ``admit`` (drain check
++ token bucket), ``validate`` (spec validation + compile via the spec
+index), ``hot`` (in-memory LRU probe), ``disk`` (ResultCache probe),
+then either ``flight`` (a follower waiting on another request's
+execution, linked to the leader's trace id) or ``queue`` + ``execute``
+(a leader's pool wait and worker run, the worker carrying back
+``compile``/``run``/``store`` sub-spans inside its result payload),
+and finally ``respond`` (response assembly).
+
+The invariant is the same no-"other"-bucket discipline as
+:mod:`repro.obs.lifetime`: a trace records *boundaries*, not
+stopwatches, so child span durations telescope — their sum equals the
+request's recorded service latency **exactly**, in integer
+microseconds, with no gap, no overlap, and no residual bucket.
+Service latency is everything up to the response being ready (the
+value reported in the response's ``latency_us`` and in ``metrics``);
+the socket write that follows is recorded separately as ``flush_us``
+because it measures the client's read speed, not the server's.
+
+Completed traces land in a bounded per-connection ring (flight-
+recorder style, like :mod:`repro.obs.flight`); when a connection
+closes, its ring is folded into a bounded ``retired`` ring so traces
+outlive their connections.  The ``trace`` op serves them back:
+last-N, slowest-K, by id, or the in-flight table.  A structured
+NDJSON slow-request log (``--slow-log FILE --slow-ms N``) captures
+every trace over the threshold as it completes.
+"""
+
+import itertools
+import time
+
+from collections import deque
+
+from repro.exp.job import canonical_json
+
+#: Default capacity of one connection's completed-trace ring.
+PER_CONNECTION_RING = 64
+
+#: Default capacity of the retired ring (traces from closed
+#: connections); ``--trace-ring`` on the CLI.
+RETIRED_RING = 512
+
+
+class RequestTrace:
+    """One request's span accumulator: a boundary list, not stopwatches.
+
+    ``mark(name)`` closes the phase that just ran: it appends
+    ``(name, now_us)`` where ``now_us`` is the integer-microsecond
+    offset from the trace's start.  Span *k* runs from boundary *k-1*
+    to boundary *k*, so durations telescope and their sum is always
+    exactly the final boundary — the recorded service latency.
+    """
+
+    __slots__ = ("id", "conn", "request_id", "t0_us", "marks", "children",
+                 "link", "status", "served", "flush_us", "_t0", "_clock",
+                 "_frozen")
+
+    def __init__(self, trace_id, conn, clock=time.monotonic):
+        self.id = trace_id
+        self.conn = conn
+        self.request_id = None
+        self._clock = clock
+        self._t0 = clock()
+        self.t0_us = int(self._t0 * 1_000_000)
+        self.marks = []             # (name, end offset in us), in order
+        self.children = []          # (parent span, name, duration us)
+        self.link = None            # leader trace id, for followers
+        self.status = None
+        self.served = None
+        self.flush_us = None
+        self._frozen = False
+
+    def _now_us(self):
+        # round, not truncate: a clock delta like 0.002s must land on
+        # 2000us even when the float is 1999.9999...
+        return round((self._clock() - self._t0) * 1_000_000)
+
+    @property
+    def frozen(self):
+        return self._frozen
+
+    def mark(self, name):
+        """Close the phase that just ran as span ``name``."""
+        if not self._frozen:
+            self.marks.append((name, self._now_us()))
+
+    def mark_split(self, first, second, second_us):
+        """Close the elapsed segment as two adjacent spans.
+
+        The trailing ``second_us`` microseconds become ``second`` and
+        the rest ``first`` — how a leader splits the time since the
+        disk probe into pool-queue wait and worker execution using the
+        worker's self-reported wall time.  The split point is clamped
+        into the segment, so tiling stays exact even if the worker's
+        clock disagrees.  ``second_us=None`` degrades to one
+        ``second`` span (no worker report: timeout, crash).
+        """
+        if self._frozen:
+            return
+        now = self._now_us()
+        if second_us is None:
+            self.marks.append((second, now))
+            return
+        prev = self.marks[-1][1] if self.marks else 0
+        split = min(now, max(prev, now - int(second_us)))
+        self.marks.append((first, split))
+        self.marks.append((second, now))
+
+    def child(self, parent, name, duration_us):
+        """Attach a nested sub-span (worker-side, own clock) under
+        ``parent``.  Children annotate; they do not join the tiling."""
+        if not self._frozen:
+            self.children.append((parent, name, int(duration_us)))
+
+    def link_to(self, leader_trace_id):
+        """Record the leader this follower's ``flight`` span waited on."""
+        if not self._frozen:
+            self.link = leader_trace_id
+
+    def finish(self, status, served=None):
+        """Close the trailing ``respond`` span and freeze the trace.
+
+        After this, ``latency_us`` is final and every further
+        ``mark``/``child`` is ignored (a cancelled leader's flight may
+        still be running on behalf of other waiters)."""
+        if self._frozen:
+            return
+        self.mark("respond")
+        self.status = status
+        self.served = served
+        self._frozen = True
+
+    @property
+    def latency_us(self):
+        """The final boundary: exactly the sum of all span durations."""
+        return self.marks[-1][1] if self.marks else 0
+
+    def spans(self):
+        """``(name, start_us, duration_us)`` per span, tiling
+        ``[0, latency_us]`` exactly."""
+        out = []
+        previous = 0
+        for name, end in self.marks:
+            out.append((name, previous, end - previous))
+            previous = end
+        return out
+
+    def to_dict(self, now_us=None):
+        """The JSON-ready trace.  For a frozen trace this is stable —
+        two pulls of the same id render byte-identically.  For an
+        in-flight trace pass ``now_us`` (absolute, from the trace's
+        clock) to get the partial view with its age."""
+        data = {
+            "id": self.id,
+            "conn": self.conn,
+            "request_id": self.request_id,
+            "start_us": self.t0_us,
+            "spans": [{"name": name, "start_us": start, "dur_us": duration}
+                      for name, start, duration in self.spans()],
+        }
+        if self.children:
+            data["children"] = [
+                {"parent": parent, "name": name, "dur_us": duration}
+                for parent, name, duration in self.children]
+        if self.link is not None:
+            data["link"] = self.link
+        if self._frozen:
+            data["status"] = self.status
+            data["served"] = self.served
+            data["latency_us"] = self.latency_us
+            if self.flush_us is not None:
+                data["flush_us"] = self.flush_us
+        else:
+            data["inflight"] = True
+            if now_us is not None:
+                data["age_us"] = max(0, now_us - self.t0_us)
+        return data
+
+
+class TraceStore:
+    """The request flight recorder: bounded rings of completed traces.
+
+    Completed traces land in a bounded ring per connection (oldest
+    evicted first, exactly like the per-node rings in
+    :mod:`repro.obs.flight`).  When a connection retires, its ring is
+    folded into the bounded ``retired`` ring — the same fold-on-close
+    discipline :class:`~repro.serve.metrics.ServerMetrics` applies to
+    per-connection histograms — so ``trace`` pulls keep working after
+    the requester hung up.  In-flight traces live in a side table
+    until they finish or are discarded (non-job ops, disconnects).
+    """
+
+    def __init__(self, per_conn=PER_CONNECTION_RING, retired=RETIRED_RING,
+                 clock=time.monotonic):
+        self.per_conn = max(1, int(per_conn))
+        self.retired = deque(maxlen=max(1, int(retired)))
+        self.rings = {}             # conn id -> deque of frozen traces
+        self.inflight = {}          # trace id -> open trace
+        self.recorded = 0           # completed traces ever stored
+        self.evicted = 0            # traces dropped by ring bounds
+        self._clock = clock
+        self._ids = itertools.count(1)
+
+    def begin(self, conn):
+        """A new trace, id assigned now (at line-parse time)."""
+        trace = RequestTrace(next(self._ids), conn, clock=self._clock)
+        self.inflight[trace.id] = trace
+        return trace
+
+    def discard(self, trace):
+        """Forget an open trace (ping/metrics/trace ops, parse errors)."""
+        self.inflight.pop(trace.id, None)
+
+    def record(self, trace):
+        """A finished trace lands in its connection's ring."""
+        self.inflight.pop(trace.id, None)
+        ring = self.rings.get(trace.conn)
+        if ring is None:
+            ring = self.rings[trace.conn] = deque(maxlen=self.per_conn)
+        if len(ring) == ring.maxlen:
+            self.evicted += 1
+        ring.append(trace)
+        self.recorded += 1
+
+    def retire_conn(self, conn):
+        """Fold a closed connection's ring into the retired ring."""
+        ring = self.rings.pop(conn, None)
+        if not ring:
+            return
+        for trace in ring:
+            if len(self.retired) == self.retired.maxlen:
+                self.evicted += 1
+            self.retired.append(trace)
+
+    # -- queries -----------------------------------------------------------
+
+    def completed(self):
+        """Every stored completed trace, oldest first (by trace id)."""
+        traces = list(self.retired)
+        for ring in self.rings.values():
+            traces.extend(ring)
+        traces.sort(key=lambda trace: trace.id)
+        return traces
+
+    def find(self, trace_id):
+        """The completed or in-flight trace with this id, or ``None``."""
+        trace = self.inflight.get(trace_id)
+        if trace is not None:
+            return trace
+        for ring in self.rings.values():
+            for trace in ring:
+                if trace.id == trace_id:
+                    return trace
+        for trace in self.retired:
+            if trace.id == trace_id:
+                return trace
+        return None
+
+    def last(self, n):
+        return self.completed()[-max(0, int(n)):]
+
+    def slowest(self, k):
+        ranked = sorted(self.completed(),
+                        key=lambda trace: (-trace.latency_us, trace.id))
+        return ranked[:max(0, int(k))]
+
+    def inflight_view(self):
+        """In-flight traces, oldest (longest-running) first."""
+        now_us = int(self._clock() * 1_000_000)
+        traces = sorted(self.inflight.values(), key=lambda trace: trace.id)
+        return [trace.to_dict(now_us=now_us) for trace in traces]
+
+    def stats(self):
+        """JSON-ready counters for the ``metrics`` snapshot and top."""
+        return {
+            "inflight": len(self.inflight),
+            "stored": len(self.retired) + sum(len(ring) for ring
+                                              in self.rings.values()),
+            "recorded": self.recorded,
+            "evicted": self.evicted,
+        }
+
+
+class SlowLog:
+    """The structured NDJSON slow-request log (``--slow-log FILE``).
+
+    One canonical-JSON line per completed trace whose service latency
+    is at least ``slow_ms`` — written and flushed as the request
+    finishes, so the log survives a crash and is tail-able live.
+    """
+
+    def __init__(self, path, slow_ms=1000.0):
+        self.path = path
+        self.threshold_us = int(max(0.0, float(slow_ms)) * 1000)
+        self.logged = 0
+        self._handle = None
+
+    def maybe_log(self, trace):
+        if trace.latency_us < self.threshold_us:
+            return False
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(canonical_json(trace.to_dict()) + "\n")
+        self._handle.flush()
+        self.logged += 1
+        return True
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -41,10 +41,10 @@ class GatedDispatcher(Dispatcher):
         self.gate = asyncio.Event()
         self.calls = 0
 
-    async def execute(self, payload):
+    async def execute(self, payload, spans=False):
         self.calls += 1
         await self.gate.wait()
-        return await super().execute(payload)
+        return await super().execute(payload, spans=spans)
 
 
 async def serving(server, scenario):

@@ -1,7 +1,7 @@
 """Server metrics: counters, per-axis histograms, exact rollups."""
 
 from repro.obs.hist import Log2Histogram
-from repro.serve.metrics import COUNTER_NAMES, ServerMetrics
+from repro.serve.metrics import COUNTER_NAMES, SERVED_AXES, ServerMetrics
 
 
 class FakeClock:
@@ -33,12 +33,25 @@ class TestCounters:
         assert snapshot["counters"]["cache_hits"] == 5
 
     def test_snapshot_schema_is_stable_when_untouched(self):
+        """Dashboards bind to all five served axes without key-probing:
+        an untouched snapshot already carries each as an empty
+        histogram."""
         snapshot = ServerMetrics(clock=FakeClock()).snapshot()
         assert set(snapshot["counters"]) == (
             set(COUNTER_NAMES) | {"cache_hits"})
         assert snapshot["latency_us"]["count"] == 0
         assert snapshot["latency_us"]["p99"] is None
-        assert snapshot["latency_by_served"] == {}
+        assert set(snapshot["latency_by_served"]) == set(SERVED_AXES)
+        for axis in SERVED_AXES:
+            assert snapshot["latency_by_served"][axis]["count"] == 0
+            assert snapshot["latency_by_served"][axis]["p99"] is None
+
+    def test_nonstandard_axis_still_appears_lazily(self):
+        metrics = ServerMetrics(clock=FakeClock())
+        metrics.observe("error", 5)
+        by_served = metrics.snapshot()["latency_by_served"]
+        assert set(by_served) == set(SERVED_AXES) | {"error"}
+        assert by_served["error"]["count"] == 1
 
 
 class TestLatencyRollup:

@@ -1,0 +1,102 @@
+"""The Perfetto server-timeline exporter over recorded request traces."""
+
+import json
+
+from repro.obs.perfetto import server_perfetto_trace
+
+
+def trace_dict(trace_id, conn, start_us, spans, link=None, children=None,
+               served="executed"):
+    cursor = 0
+    rendered = []
+    for name, duration in spans:
+        rendered.append({"name": name, "start_us": cursor,
+                         "dur_us": duration})
+        cursor += duration
+    data = {"id": trace_id, "conn": conn, "request_id": trace_id,
+            "start_us": start_us, "spans": rendered, "status": "ok",
+            "served": served, "latency_us": cursor}
+    if link is not None:
+        data["link"] = link
+    if children is not None:
+        data["children"] = children
+    return data
+
+
+def sample_traces():
+    leader = trace_dict(
+        1, conn=1, start_us=1000,
+        spans=[("parse", 10), ("admit", 5), ("validate", 20), ("hot", 5),
+               ("queue", 100), ("execute", 2000), ("respond", 10)],
+        children=[{"parent": "execute", "name": "compile", "dur_us": 300},
+                  {"parent": "execute", "name": "run", "dur_us": 1500},
+                  {"parent": "execute", "name": "store", "dur_us": 100}])
+    follower = trace_dict(
+        2, conn=2, start_us=1200,
+        spans=[("parse", 8), ("admit", 4), ("validate", 15), ("hot", 4),
+               ("flight", 1950), ("respond", 9)],
+        link=1, served="deduped")
+    # Overlapping second execution forces a second worker lane.
+    parallel = trace_dict(
+        3, conn=3, start_us=1100,
+        spans=[("parse", 9), ("admit", 4), ("validate", 18), ("hot", 4),
+               ("queue", 50), ("execute", 2500), ("respond", 11)])
+    return [leader, follower, parallel]
+
+
+class TestServerPerfetto:
+    def test_connection_tracks_and_request_slices(self):
+        doc = server_perfetto_trace(sample_traces())
+        events = doc["traceEvents"]
+        names = {(e["pid"], e.get("args", {}).get("name"))
+                 for e in events if e["ph"] == "M"}
+        assert (1, "connections") in names
+        assert (2, "workers") in names
+        assert (1, "conn 1") in names and (1, "conn 2") in names
+        requests = [e for e in events
+                    if e["ph"] == "X" and e.get("cat") == "request"]
+        assert {e["name"] for e in requests} \
+            == {"req 1", "req 2", "req 3"}
+        leader = next(e for e in requests if e["name"] == "req 1")
+        assert leader["ts"] == 1000
+        assert leader["dur"] == 2150
+
+    def test_overlapping_executions_get_distinct_worker_lanes(self):
+        doc = server_perfetto_trace(sample_traces())
+        executes = [e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e.get("cat") == "execute"]
+        assert len(executes) == 2
+        assert len({e["tid"] for e in executes}) == 2
+        workers = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e.get("cat") == "worker"]
+        assert [e["name"] for e in workers
+                if e["tid"] == executes[0]["tid"]] \
+            == ["compile", "run", "store"]
+
+    def test_dedupe_flow_arrow_leader_to_follower(self):
+        doc = server_perfetto_trace(sample_traces())
+        flows = [e for e in doc["traceEvents"]
+                 if e.get("cat") == "dedupe"]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["tid"] == 1                 # leader's connection
+        assert start["ts"] == 1000 + 10 + 5 + 20 + 5 + 100 + 2000
+        assert finish["tid"] == 2                # follower's connection
+        assert start["id"] == finish["id"]
+        assert start["args"] == {"leader": 1, "follower": 2}
+
+    def test_deterministic_and_json_clean(self):
+        first = json.dumps(server_perfetto_trace(sample_traces()),
+                           sort_keys=True)
+        second = json.dumps(server_perfetto_trace(
+            list(reversed(sample_traces()))), sort_keys=True)
+        assert first == second
+
+    def test_inflight_and_missing_leader_are_skipped(self):
+        traces = sample_traces()[1:]             # follower without leader
+        traces.append({"id": 9, "conn": 9, "start_us": 0, "inflight": True,
+                       "spans": []})
+        doc = server_perfetto_trace(traces)
+        assert not [e for e in doc["traceEvents"]
+                    if e.get("cat") == "dedupe"]
+        assert doc["otherData"]["requests"] == 2

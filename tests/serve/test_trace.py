@@ -1,0 +1,465 @@
+"""Request tracing: exact span tiling, the flight recorder, slow log.
+
+The unit tests drive :class:`RequestTrace`/:class:`TraceStore` with a
+fake clock; the end-to-end tests run the real server over a unix
+socket in *both* dispatcher modes and assert the tentpole invariant
+from the wire: the span durations of a served request sum to its
+recorded service latency **exactly** — integer microseconds, no
+"other" bucket — and a completed trace pulled twice renders
+byte-identically.
+"""
+
+import asyncio
+import json
+
+from repro.exp.job import canonical_json
+from repro.serve.dispatch import Dispatcher
+from repro.serve.server import SweepServer
+from repro.serve.trace import RequestTrace, SlowLog, TraceStore
+
+from tests.serve import harness
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def make_server(socket_path, **overrides):
+    overrides.setdefault("cache", None)
+    overrides.setdefault(
+        "dispatcher", Dispatcher(workers=2, mode="thread"))
+    return SweepServer(socket_path=socket_path, **overrides)
+
+
+def assert_tiles_exactly(trace_dict):
+    """The invariant: spans tile [0, latency_us] with no gap/overlap."""
+    cursor = 0
+    for span in trace_dict["spans"]:
+        assert span["start_us"] == cursor
+        assert span["dur_us"] >= 0
+        cursor += span["dur_us"]
+    assert cursor == trace_dict["latency_us"]
+    assert sum(span["dur_us"] for span in trace_dict["spans"]) \
+        == trace_dict["latency_us"]
+
+
+class TestRequestTrace:
+    def test_spans_tile_latency_exactly(self):
+        clock = FakeClock()
+        trace = RequestTrace(1, conn=7, clock=clock)
+        clock.t += 0.000_010
+        trace.mark("parse")
+        clock.t += 0.000_025
+        trace.mark("admit")
+        clock.t += 0.001_000
+        trace.finish("ok", served="hit")
+        assert trace.latency_us == 1035
+        assert trace.spans() == [("parse", 0, 10), ("admit", 10, 25),
+                                 ("respond", 35, 1000)]
+        assert_tiles_exactly(trace.to_dict())
+
+    def test_mark_split_uses_worker_time(self):
+        clock = FakeClock()
+        trace = RequestTrace(1, conn=1, clock=clock)
+        clock.t += 0.000_100
+        trace.mark("hot")
+        clock.t += 0.000_900          # 300us queued + 600us executing
+        trace.mark_split("queue", "execute", 600)
+        assert trace.spans() == [("hot", 0, 100), ("queue", 100, 300),
+                                 ("execute", 400, 600)]
+
+    def test_mark_split_clamps_worker_overreport(self):
+        """A worker clock reading longer than the whole segment cannot
+        push the split before the previous boundary."""
+        clock = FakeClock()
+        trace = RequestTrace(1, conn=1, clock=clock)
+        clock.t += 0.000_100
+        trace.mark("hot")
+        clock.t += 0.000_200
+        trace.mark_split("queue", "execute", 5_000_000)
+        assert trace.spans() == [("hot", 0, 100), ("queue", 100, 0),
+                                 ("execute", 100, 200)]
+        assert trace.latency_us == 300
+
+    def test_mark_split_without_worker_report(self):
+        """Timeout/crash: no worker time, the segment stays one span."""
+        clock = FakeClock()
+        trace = RequestTrace(1, conn=1, clock=clock)
+        clock.t += 0.000_500
+        trace.mark_split("queue", "execute", None)
+        assert trace.spans() == [("execute", 0, 500)]
+
+    def test_finish_freezes(self):
+        clock = FakeClock()
+        trace = RequestTrace(1, conn=1, clock=clock)
+        trace.finish("ok")
+        latency = trace.latency_us
+        clock.t += 5.0
+        trace.mark("late")
+        trace.child("execute", "late", 99)
+        trace.finish("failed")
+        assert trace.latency_us == latency
+        assert trace.status == "ok"
+        assert trace.children == []
+
+    def test_to_dict_inflight_has_age(self):
+        clock = FakeClock()
+        trace = RequestTrace(3, conn=2, clock=clock)
+        clock.t += 0.25
+        data = trace.to_dict(now_us=int(clock.t * 1_000_000))
+        assert data["inflight"] is True
+        assert data["age_us"] == 250_000
+        assert "latency_us" not in data
+
+
+class TestTraceStore:
+    def finished(self, store, conn, latency_us=100):
+        trace = store.begin(conn)
+        store._clock.t += latency_us / 1_000_000
+        trace.finish("ok", served="hit")
+        store.record(trace)
+        return trace
+
+    def make_store(self, **kwargs):
+        return TraceStore(clock=FakeClock(), **kwargs)
+
+    def test_ring_evicts_oldest_first(self):
+        store = self.make_store(per_conn=3)
+        ids = [self.finished(store, conn=1).id for _ in range(5)]
+        kept = [trace.id for trace in store.completed()]
+        assert kept == ids[-3:]          # oldest two gone, order kept
+        assert store.evicted == 2
+        assert store.recorded == 5
+
+    def test_retire_folds_into_bounded_retired_ring(self):
+        store = self.make_store(per_conn=8, retired=4)
+        for conn in (1, 2):
+            for _ in range(3):
+                self.finished(store, conn=conn)
+        store.retire_conn(1)
+        store.retire_conn(2)
+        assert store.rings == {}
+        kept = [trace.id for trace in store.completed()]
+        assert kept == [3, 4, 5, 6]      # oldest of six evicted first
+        assert store.evicted == 2
+
+    def test_find_last_slowest(self):
+        store = self.make_store()
+        slow = self.finished(store, conn=1, latency_us=900)
+        fast = self.finished(store, conn=1, latency_us=10)
+        assert store.find(slow.id) is slow
+        assert store.find(9999) is None
+        assert [t.id for t in store.last(1)] == [fast.id]
+        assert [t.id for t in store.slowest(2)] == [slow.id, fast.id]
+
+    def test_discard_forgets_inflight(self):
+        store = self.make_store()
+        trace = store.begin(conn=1)
+        assert store.stats()["inflight"] == 1
+        store.discard(trace)
+        assert store.stats() == {"inflight": 0, "stored": 0,
+                                 "recorded": 0, "evicted": 0}
+
+
+class TestSlowLog:
+    def test_logs_only_over_threshold_as_ndjson(self, tmp_path):
+        path = str(tmp_path / "slow.ndjson")
+        log = SlowLog(path, slow_ms=0.5)
+        clock = FakeClock()
+        fast = RequestTrace(1, conn=1, clock=clock)
+        clock.t += 0.000_100
+        fast.finish("ok")
+        slow = RequestTrace(2, conn=1, clock=clock)
+        clock.t += 0.002
+        slow.finish("ok", served="executed")
+        assert log.maybe_log(fast) is False
+        assert log.maybe_log(slow) is True
+        log.close()
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1 == log.logged
+        entry = json.loads(lines[0])
+        assert entry["id"] == 2
+        assert entry["latency_us"] == 2000
+        assert lines[0] == canonical_json(slow.to_dict())
+
+
+class TestEndToEnd:
+    def run_traced_job(self, tmp_path, dispatcher):
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            server = make_server(socket_path, dispatcher=dispatcher)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                response = await harness.request(
+                    reader, writer,
+                    {"op": "job", "id": 1,
+                     "job": harness.cold_source_spec(41)})
+                pull = {"op": "trace", "id": "t",
+                        "trace_id": response["trace"]}
+                writer.write((json.dumps(pull) + "\n").encode())
+                writer.write((json.dumps(pull) + "\n").encode())
+                await writer.drain()
+                first_line = await reader.readline()
+                second_line = await reader.readline()
+                writer.close()
+                return response, first_line, second_line
+
+            return await harness.serving(server, client)
+
+        return harness.run(scenario())
+
+    def test_spans_tile_latency_thread_mode(self, tmp_path):
+        response, line, again = self.run_traced_job(
+            tmp_path, Dispatcher(workers=2, mode="thread"))
+        assert (response["status"], response["served"]) \
+            == ("ok", "executed")
+        trace = json.loads(line)["traces"][0]
+        assert_tiles_exactly(trace)
+        assert trace["latency_us"] == response["latency_us"]
+        names = [span["name"] for span in trace["spans"]]
+        assert names == ["parse", "admit", "validate", "hot",
+                         "queue", "execute", "respond"]
+        assert trace["status"] == "ok"
+        assert trace["served"] == "executed"
+        assert trace["flush_us"] >= 0
+
+    def test_trace_pulls_are_byte_identical(self, tmp_path):
+        _, line, again = self.run_traced_job(
+            tmp_path, Dispatcher(workers=2, mode="thread"))
+        assert line == again
+
+    def test_spans_tile_latency_process_mode(self, tmp_path):
+        """The worker sub-spans cross a real process boundary and the
+        tiling still holds — only durations travel, never clocks."""
+        response, line, _ = self.run_traced_job(
+            tmp_path, Dispatcher(workers=1, mode="process"))
+        assert (response["status"], response["served"]) \
+            == ("ok", "executed")
+        trace = json.loads(line)["traces"][0]
+        assert_tiles_exactly(trace)
+        assert trace["latency_us"] == response["latency_us"]
+        children = trace["children"]
+        assert [child["name"] for child in children] \
+            == ["compile", "run", "store"]
+        assert all(child["parent"] == "execute" for child in children)
+        execute = next(span for span in trace["spans"]
+                       if span["name"] == "execute")
+        assert sum(child["dur_us"] for child in children) \
+            <= trace["latency_us"]
+        assert execute["dur_us"] > 0
+
+    def test_hit_trace_has_no_execute_span(self, tmp_path):
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            server = make_server(socket_path)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                spec = harness.cold_source_spec(42)
+                await harness.request(
+                    reader, writer, {"op": "job", "id": 1, "job": spec})
+                hit = await harness.request(
+                    reader, writer, {"op": "job", "id": 2, "job": spec})
+                pull = await harness.request(
+                    reader, writer,
+                    {"op": "trace", "id": "t", "trace_id": hit["trace"]})
+                writer.close()
+                return hit, pull
+
+            return await harness.serving(server, client)
+
+        hit, pull = harness.run(scenario())
+        assert hit["served"] == "hit"
+        trace = pull["traces"][0]
+        assert_tiles_exactly(trace)
+        assert [span["name"] for span in trace["spans"]] \
+            == ["parse", "admit", "validate", "hot", "respond"]
+
+    def test_follower_links_to_leader(self, tmp_path):
+        """A deduped follower's trace carries the leader's trace id and
+        one 'flight' span covering its whole wait."""
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            dispatcher = harness.GatedDispatcher(workers=2)
+            server = make_server(socket_path, dispatcher=dispatcher)
+
+            async def client():
+                spec = harness.cold_source_spec(43)
+                reader, writer = await harness.connect(socket_path)
+                writer.write(
+                    (json.dumps({"op": "job", "id": 1, "job": spec})
+                     + "\n").encode())
+                await writer.drain()
+                assert await harness.eventually(
+                    lambda: dispatcher.calls == 1)
+                writer.write(
+                    (json.dumps({"op": "job", "id": 2, "job": spec})
+                     + "\n").encode())
+                await writer.drain()
+                assert await harness.eventually(
+                    lambda: server.flights.deduped == 1)
+                dispatcher.gate.set()
+                responses = [json.loads(await reader.readline())
+                             for _ in range(2)]
+                by_served = {r["served"]: r for r in responses}
+                pulls = {}
+                for served, response in by_served.items():
+                    pulls[served] = await harness.request(
+                        reader, writer,
+                        {"op": "trace", "id": "t",
+                         "trace_id": response["trace"]})
+                writer.close()
+                return by_served, pulls
+
+            return await harness.serving(server, client)
+
+        by_served, pulls = harness.run(scenario())
+        leader = pulls["executed"]["traces"][0]
+        follower = pulls["deduped"]["traces"][0]
+        assert follower["link"] == leader["id"]
+        assert "link" not in leader
+        assert_tiles_exactly(follower)
+        names = [span["name"] for span in follower["spans"]]
+        assert "flight" in names and "execute" not in names
+        assert "execute" in [span["name"] for span in leader["spans"]]
+
+    def test_introspection_ops_are_not_recorded(self, tmp_path):
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            server = make_server(socket_path)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                await harness.request(reader, writer,
+                                      {"op": "ping", "id": 1})
+                await harness.request(reader, writer,
+                                      {"op": "metrics", "id": 2})
+                pull = await harness.request(
+                    reader, writer, {"op": "trace", "id": 3})
+                writer.close()
+                return pull, server
+
+            return await harness.serving(server, client)
+
+        pull, server = harness.run(scenario())
+        assert pull["enabled"] is True
+        assert pull["traces"] == []
+        assert pull["stats"]["recorded"] == 0
+        assert pull["stats"]["inflight"] == 0
+
+    def test_inflight_requests_visible_via_trace_op(self, tmp_path):
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            dispatcher = harness.GatedDispatcher(workers=2)
+            server = make_server(socket_path, dispatcher=dispatcher)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                writer.write(
+                    (json.dumps({"op": "job", "id": 1,
+                                 "job": harness.cold_source_spec(44)})
+                     + "\n").encode())
+                await writer.drain()
+                assert await harness.eventually(
+                    lambda: dispatcher.calls == 1)
+                pull = await harness.request(
+                    reader, writer, {"op": "trace", "id": "t"})
+                dispatcher.gate.set()
+                await reader.readline()
+                writer.close()
+                return pull
+
+            return await harness.serving(server, client)
+
+        pull = harness.run(scenario())
+        assert len(pull["inflight"]) == 1
+        entry = pull["inflight"][0]
+        assert entry["inflight"] is True
+        assert entry["age_us"] >= 0
+        # The ladder marks up to the hot-LRU probe are already visible.
+        assert [span["name"] for span in entry["spans"]] \
+            == ["parse", "admit", "validate", "hot"]
+
+    def test_tracing_disabled_still_serves(self, tmp_path):
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            server = make_server(socket_path, trace_ring=0)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                response = await harness.request(
+                    reader, writer,
+                    {"op": "job", "id": 1,
+                     "job": harness.cold_source_spec(45)})
+                pull = await harness.request(
+                    reader, writer, {"op": "trace", "id": 2})
+                writer.close()
+                return response, pull
+
+            return await harness.serving(server, client)
+
+        response, pull = harness.run(scenario())
+        assert response["status"] == "ok"
+        assert "trace" not in response
+        assert response["latency_us"] >= 0
+        assert pull["enabled"] is False
+
+    def test_slow_log_captures_server_requests(self, tmp_path):
+        socket_path = str(tmp_path / "april.sock")
+        log_path = str(tmp_path / "slow.ndjson")
+
+        async def scenario():
+            server = make_server(socket_path, slow_log=log_path,
+                                 slow_ms=0.0)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                response = await harness.request(
+                    reader, writer,
+                    {"op": "job", "id": 1,
+                     "job": harness.cold_source_spec(46)})
+                writer.close()
+                return response
+
+            return await harness.serving(server, client)
+
+        response = harness.run(scenario())
+        lines = open(log_path).read().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["id"] == response["trace"]
+        assert entry["latency_us"] == response["latency_us"]
+
+    def test_metrics_snapshot_has_trace_section(self, tmp_path):
+        socket_path = str(tmp_path / "april.sock")
+
+        async def scenario():
+            server = make_server(socket_path)
+
+            async def client():
+                reader, writer = await harness.connect(socket_path)
+                await harness.request(
+                    reader, writer,
+                    {"op": "job", "id": 1,
+                     "job": harness.cold_source_spec(47)})
+                response = await harness.request(
+                    reader, writer, {"op": "metrics", "id": 2})
+                writer.close()
+                return response
+
+            return await harness.serving(server, client)
+
+        metrics = harness.run(scenario())["metrics"]
+        assert metrics["trace"]["recorded"] == 1
+        assert metrics["trace"]["inflight"] == 0
