@@ -295,7 +295,8 @@ def _print_sweep_trailer(summary, failures):
 def _cmd_bench(args):
     from repro.harness.bench import check_baseline, run_bench, write_bench
     payload = run_bench(quick=args.quick, pool_size=args.jobs,
-                        fastpath=not args.no_fastpath)
+                        fastpath=not args.no_fastpath,
+                        jit=not args.no_jit)
     path = write_bench(payload, args.out)
     print("wrote benchmark results to %s" % path, file=sys.stderr)
     print("cycles/sec: %.0f   overhead: %.2fx   traced: %.2fx"
@@ -694,6 +695,11 @@ def build_parser():
                                 "the translation-cache fast path (A/B "
                                 "comparison; the committed baseline is "
                                 "measured with the fast path on)")
+    bench_cmd.add_argument("--no-jit", action="store_true",
+                           help="keep the fast path but disable the "
+                                "superblock JIT tier (A/B comparison; "
+                                "the committed baseline is measured with "
+                                "the JIT on)")
     bench_cmd.set_defaults(func=_cmd_bench)
 
     asm_cmd = sub.add_parser("asm", help="assemble and list APRIL assembly")

@@ -35,6 +35,16 @@ with no cycle charge and no PC-chain math.  The superblock executor
 together and batches the whole block's accounting into single integer
 adds.
 
+This closure tier is the middle rung of a three-tier ladder.  Cold
+code runs through :meth:`~repro.core.processor.Processor.step`
+dispatching one ``run`` closure per instruction; block-start pcs warm
+through the fused-closure superblocks above; and hot blocks are
+compiled by :mod:`repro.core.jit` into single generated Python
+functions (operands baked as constants, registers flattened to locals,
+accounting batched) with these same ``run`` closures as the delegation
+target for whatever the generated code does not inline.  Every rung is
+held to the same lockstep contract against the reference if-chain.
+
 Cycle accounting contract: handlers charge "useful" cycles inline
 (``cpu.cycles``/``stats.useful``/``stats._total``) but still honor the
 dormant observability hook — ``cpu.lifetime.on_charge`` fires exactly

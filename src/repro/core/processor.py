@@ -24,6 +24,7 @@ from collections import deque
 
 from repro.core import alu
 from repro.core.fpu import FPU
+from repro.core.jit import CodeCache, compile_block
 from repro.core.psr import ET_BIT
 from repro.core.task_frame import TaskFrame
 from repro.core.traps import (
@@ -51,6 +52,19 @@ CATEGORIES = ("useful", "stall", "trap", "switch", "spin", "idle")
 
 #: Longest straight-line run fused into one superblock.
 MAX_SUPERBLOCK = 32
+
+#: Superblock visits at one pc before the JIT tier compiles it.
+#: Low on purpose: compiled blocks are shared process-wide (see
+#: :data:`repro.core.jit.SHARED_BLOCKS`), so compilation is cheap on
+#: every machine after the first, and short benchmark runs spend most
+#: of their cycles warm only if the ladder promotes quickly.
+JIT_THRESHOLD = 4
+
+#: Bound on the per-CPU pc -> ExecEntry predecode cache (LRU).
+PREDECODE_CACHE_CAPACITY = 1 << 16
+
+#: Bound on the per-CPU JIT block cache (LRU).
+JIT_CACHE_CAPACITY = 2048
 
 
 class ProcessorStats:
@@ -165,17 +179,41 @@ class Processor:
         self.halted = False
         self.ipi_queue = deque()
         #: Superblock cache: block-start pc -> list of fuse closures, or
-        #: ``False`` for "no fusible run here".  Assumes code is
-        #: read-only once loaded (same assumption the shared
-        #: :class:`DecodeCache` documents).
+        #: ``False`` for "no fusible run here".  Invalidated through
+        #: :meth:`invalidate_code` when an attached
+        #: :class:`~repro.mem.memory.CodeWatch` sees a store into the
+        #: block's pc range.
         self._blocks = {}
-        #: pc -> :class:`ExecEntry` translation cache (same read-only
-        #: code assumption); lets :meth:`step` skip the fetch +
-        #: word-keyed predecode pair on every revisited pc.
-        self._entries = {}
+        #: pc -> :class:`ExecEntry` translation cache, bounded LRU;
+        #: lets :meth:`step` skip the fetch + word-keyed predecode pair
+        #: on every revisited pc.  ``_entry_map`` aliases its backing
+        #: OrderedDict for the hot path.
+        self._entries = CodeCache(PREDECODE_CACHE_CAPACITY)
+        self._entry_map = self._entries.data
+        #: The JIT tier (see :mod:`repro.core.jit`): pc ->
+        #: :class:`JitBlock` (or ``False`` for "not compilable here"),
+        #: bounded LRU; ``_jit_map`` aliases its backing OrderedDict.
+        self._jit = CodeCache(JIT_CACHE_CAPACITY)
+        self._jit_map = self._jit.data
+        #: pc -> visit count; promotion to the JIT tier at
+        #: :data:`JIT_THRESHOLD` (bounded by the code footprint).
+        self._heat = {}
+        #: Master switch for the JIT tier (the ``april bench --no-jit``
+        #: A/B knob; the machine sets it from its ``jit`` argument).
+        self.jit_enabled = True
+        self.jit_threshold = JIT_THRESHOLD
+        #: Optional :class:`~repro.mem.memory.CodeWatch` this CPU
+        #: registers its translated pc ranges with (self-modifying-code
+        #: invalidation); see :meth:`attach_code_watch`.
+        self._code_watch = None
         #: Count of fused superblocks executed (diagnostics/tests only;
         #: deliberately not part of ``stats.snapshot()``).
         self.superblocks = 0
+        #: JIT tier diagnostics (same non-snapshot contract).
+        self.jit_compiles = 0
+        self.jit_runs = 0
+        self.jit_deopts = 0
+        self.block_invalidations = 0
         #: Pipeline-squash cost per trap (4 on custom APRIL silicon).
         self.trap_squash_cycles = TRAP_SQUASH_CYCLES
         #: Optional per-instruction callback(cpu, pc, instr) for tracing.
@@ -267,7 +305,8 @@ class Processor:
             return self.cycles - start
 
         pc = frame.pc
-        entry = self._entries.get(pc)
+        entries = self._entry_map
+        entry = entries.get(pc)
         if entry is None:
             try:
                 entry = self.decoder.predecode(self.port.fetch(pc))
@@ -278,7 +317,12 @@ class Processor:
             # Only successful translations are cached, so a faulting pc
             # re-raises (and re-traps) on every execution, like the
             # reference interpreter.
-            self._entries[pc] = entry
+            self._entries.put(pc, entry)
+            watch = self._code_watch
+            if watch is not None:
+                watch.cover(pc, pc + 4)
+        else:
+            entries.move_to_end(pc)
 
         if self.trace_hook is not None:
             self.trace_hook(self, pc, entry.instr)
@@ -351,20 +395,28 @@ class Processor:
     # -- superblock executor (fast path only) --------------------------------
 
     def step_block(self, budget):
-        """Execute one fused superblock, or fall back to :meth:`step`.
+        """Execute one superblock — JIT, fused closures — or :meth:`step`.
 
-        A superblock is a straight-line run of fusible instructions
-        (raw logic, ``LUI``/``ORIL``, ``NOP`` — nothing that can trap,
-        branch, touch memory, or move FP) executed as one Python call:
-        the per-instruction ``charge()`` calls collapse into a single
-        integer add for the whole block.
+        The tier ladder at a block-start pc: cold pcs run through the
+        closure tier (or plain :meth:`step`) while a visit counter
+        warms; at :attr:`jit_threshold` the pc is compiled by
+        :mod:`repro.core.jit` into one generated Python function that
+        executes the whole straight-line run *and* its terminating
+        branch/memory instruction with batched accounting.  The closure
+        tier (a cached list of ``fuse`` closures — raw logic,
+        ``LUI``/``ORIL``, ``NOP`` only) remains the warm-up path and
+        the fallback when the compiled block does not fit the slice
+        budget.
 
-        ``budget`` bounds the block length in cycles so the caller's
-        event-loop slice is never overshot (every fused instruction
-        costs exactly one cycle).  Falls back to :meth:`step` — same
-        return convention, cycles consumed — whenever no block applies
-        or any per-instruction hook is attached; only call this with
-        machine-level observability dormant.
+        ``budget`` bounds the block cost in cycles so the caller's
+        event-loop slice is never overshot (every block instruction
+        costs exactly one cycle; a delegated memory terminator may
+        stall past the horizon, but so would the same instruction under
+        :meth:`step` — the reference loop has the same property).
+        Falls back to :meth:`step` — same return convention, cycles
+        consumed — whenever no block applies or any per-instruction
+        hook is attached; only call this with machine-level
+        observability dormant.
         """
         if self.halted:
             return 0
@@ -379,6 +431,26 @@ class Processor:
             # In a branch delay slot (or a redirected PC chain): the
             # block's straight-line npc math would be wrong.
             return self.step()
+
+        if self.jit_enabled:
+            jit_map = self._jit_map
+            jb = jit_map.get(pc)
+            if jb is not None:
+                jit_map.move_to_end(pc)
+                if jb is not False and jb.cost <= budget:
+                    return self._run_jit(jb, frame, budget)
+                # Uncompilable pc, or the compiled block overshoots the
+                # slice: fall through to the closure tier / step().
+            else:
+                heat = self._heat.get(pc, 0) + 1
+                if heat >= self.jit_threshold:
+                    self._heat.pop(pc, None)
+                    jb = self._compile_jit(pc)
+                    if jb is not None and jb.cost <= budget:
+                        return self._run_jit(jb, frame, budget)
+                else:
+                    self._heat[pc] = heat
+
         block = self._blocks.get(pc)
         if block is None:
             block = self._build_block(pc)
@@ -425,7 +497,123 @@ class Processor:
             pass
         block = fuses if len(fuses) >= 2 else False
         self._blocks[pc] = block
+        if block is not False:
+            watch = self._code_watch
+            if watch is not None:
+                watch.cover(pc, pc + 4 * len(block))
         return block
+
+    # -- JIT tier (see repro.core.jit) ----------------------------------------
+
+    def _compile_jit(self, pc):
+        """Compile the superblock at ``pc``; caches the result.
+
+        Uncompilable pcs cache ``False`` so the hotness counter is paid
+        only once per pc; real blocks register their pc range with the
+        code watch so self-modifying stores invalidate them.
+        """
+        jb = compile_block(self, pc)
+        self._jit.put(pc, jb if jb is not None else False)
+        if jb is not None:
+            self.jit_compiles += 1
+            watch = self._code_watch
+            if watch is not None:
+                watch.cover(jb.start, jb.end)
+        return jb
+
+    def _run_jit(self, jb, frame, budget):
+        """Execute one compiled block; returns cycles consumed.
+
+        The block may stop early — at a tripped future guard, at the
+        slow path of an inlined memory access, or at a taken branch —
+        so the cycles consumed are whatever the generated code banked,
+        not ``jb.cost``.  Traps raised by a guard or a delegated
+        instruction are taken here exactly as :meth:`step` takes them
+        (the generated code parked the PC chain at the instruction and
+        committed the prefix first).  A zero-cycle return cannot
+        happen on current codegen (guards raise, delegates charge);
+        the deoptimize-to-:meth:`step` branch below is a safety net
+        that keeps any future zero-progress block from livelocking the
+        event loop.
+        """
+        start = self.cycles
+        try:
+            jb.fn(self, frame)
+        except TrapSignal as signal:
+            self._take_trap(frame, signal.trap)
+            self.jit_runs += 1
+            return self.cycles - start
+        spent = self.cycles - start
+        if spent == 0:
+            self.jit_deopts += 1
+            return self.step()
+        self.jit_runs += 1
+        return spent
+
+    def attach_code_watch(self, watch):
+        """Register with a :class:`~repro.mem.memory.CodeWatch`.
+
+        The watch notifies :meth:`invalidate_code` on every store into
+        a word this CPU has translated, keeping all three cache tiers
+        (predecode entries, fused closure blocks, JIT blocks) correct
+        under self-modifying code.
+        """
+        self._code_watch = watch
+        watch.add_listener(self.invalidate_code)
+
+    def invalidate_code(self, address):
+        """Drop every cached translation covering ``address``.
+
+        ``False`` sentinels ("nothing to fuse/compile here") are kept:
+        they never execute stale instructions, only route the pc to a
+        lower tier, so correctness cannot depend on dropping them.
+        """
+        word = address & ~3
+        self._entries.discard(word)
+        jit = self._jit
+        jit_map = jit.data
+        if jit_map:
+            for key in [k for k, jb in jit_map.items()
+                        if jb is not False and jb.start <= word < jb.end]:
+                # A block can never invalidate *itself* mid-run (inline
+                # stores refuse watched words; delegated stores end the
+                # block), so dropping the cache entry is sufficient.
+                jit.discard(key)
+        blocks = self._blocks
+        if blocks:
+            for key in [k for k, blk in blocks.items()
+                        if blk is not False
+                        and k <= word < k + 4 * len(blk)]:
+                del blocks[key]
+                self.block_invalidations += 1
+
+    def translation_counters(self):
+        """JSON-ready per-tier translation-cache counters.
+
+        Surfaced by :func:`repro.obs.report.machine_report` next to the
+        per-CPU cycle stats; none of this participates in
+        ``stats.snapshot()`` (the lockstep harness pins that
+        byte-identical across tiers).
+        """
+        jit = self._jit.counters()
+        jit.update(
+            blocks=sum(1 for jb in self._jit.data.values()
+                       if jb is not False),
+            compiles=self.jit_compiles,
+            runs=self.jit_runs,
+            deopts=self.jit_deopts,
+            enabled=self.jit_enabled,
+        )
+        return {
+            "node": self.node_id,
+            "predecode": self._entries.counters(),
+            "jit": jit,
+            "superblocks": {
+                "size": len(self._blocks),
+                "executed": self.superblocks,
+                "invalidations": self.block_invalidations,
+            },
+        }
 
     def run(self, max_cycles=None, max_instructions=None):
         """Step until halted or a limit is reached; returns cycles run."""

@@ -11,8 +11,10 @@ a +/-25% tolerance on cycles/sec — the regression gate for the
 simulator's own performance.
 
 Wall-clock noise is real (shared CI runners), hence the generous
-tolerance and the interleaved dormant/observed measurement discipline
-borrowed from ``benchmarks/bench_simulator_speed.py``.
+tolerance, the interleaved dormant/observed measurement discipline
+borrowed from ``benchmarks/bench_simulator_speed.py``, and best-of-reps
+timing (load spikes only ever add wall time, so the minimum is the
+honest steady-state figure — the same logic as ``timeit``).
 """
 
 import json
@@ -40,12 +42,24 @@ def _timed(source, observe=None, **kwargs):
     return result, time.perf_counter() - start
 
 
-def _sequential_throughput(quick, fastpath=True):
+def _sequential_throughput(quick, fastpath=True, jit=True):
     """Raw interpreter speed: sequential fib, no fabric, no observation."""
     module = workloads.get("fib")
     n = 11 if quick else 13
-    result, elapsed = _timed(module.source(), mode="sequential", args=(n,),
-                             fastpath=fastpath)
+    # One untimed warm-up at a small size: the suite measures
+    # steady-state simulator speed, and JIT block compilation is a
+    # process-wide one-off (repro.core.jit.SHARED_BLOCKS) that a long
+    # sweep amortises across machines.  Each section warms its own
+    # configuration — block keys embed the memory geometry.
+    run_mult(module.source(), mode="sequential", args=(8,),
+             fastpath=fastpath, jit=jit)
+    # Best-of-3: minimum wall time is the standard shared-host defence
+    # (load spikes only ever add time), same reasoning as timeit's.
+    elapsed = None
+    for _ in range(3):
+        result, once = _timed(module.source(), mode="sequential", args=(n,),
+                              fastpath=fastpath, jit=jit)
+        elapsed = once if elapsed is None else min(elapsed, once)
     assert result.value == module.reference(n)
     return {
         "workload": "fib(%d) sequential" % n,
@@ -59,28 +73,33 @@ def _sequential_throughput(quick, fastpath=True):
     }
 
 
-def _eager_overhead(quick, fastpath=True):
+def _eager_overhead(quick, fastpath=True, jit=True):
     """Dormant vs. fully-observed eager run (events off, profiler on)."""
     module = workloads.get("fib")
     source = module.source()
-    n, reps = (9, 2) if quick else (12, 3)
-    bare = observed = 0.0
+    n, reps = (9, 3) if quick else (12, 3)
+    # Untimed warm-up in this section's own configuration (see the
+    # sequential section): compiles the shared JIT blocks once.
+    run_mult(source, mode="eager", processors=2, args=(8,),
+             fastpath=fastpath, jit=jit)
+    bare = observed = None
     result = None
     for _ in range(reps):            # interleave: fair to warm-up effects
         result, elapsed = _timed(source, mode="eager", processors=2,
-                                 args=(n,), fastpath=fastpath)
-        bare += elapsed
+                                 args=(n,), fastpath=fastpath, jit=jit)
+        bare = elapsed if bare is None else min(bare, elapsed)
         # events=False matches this section's charter (the docstring
         # above): it prices the sampler + profiler alone.  The coherent
         # section below prices the full bus-and-everything observation.
         _, elapsed = _timed(source, mode="eager", processors=2, args=(n,),
-                            fastpath=fastpath,
+                            fastpath=fastpath, jit=jit,
                             observe=Observation(events=False, profile=True,
                                                 window=4096))
-        observed += elapsed
+        observed = elapsed if observed is None else min(observed, elapsed)
     assert result.value == module.reference(n)
-    bare /= reps
-    observed /= reps
+    # Minimum, not mean, of the interleaved reps: host load spikes only
+    # ever add wall time, and at JIT speeds one spike inside a ~100ms
+    # leg would otherwise dominate the reported rate (timeit's logic).
     return {
         "workload": "fib(%d) eager p2" % n,
         "cycles": result.cycles,
@@ -91,26 +110,30 @@ def _eager_overhead(quick, fastpath=True):
     }
 
 
-def _coherent_traced(quick, fastpath=True):
+def _coherent_traced(quick, fastpath=True, jit=True):
     """Dormant vs. fully-traced coherent run (txn tracer + everything)."""
     module = workloads.get("fib")
     source = module.source()
     n, reps = (8, 2) if quick else (10, 2)
     config = MachineConfig(num_processors=4, memory_mode="coherent")
-    bare = traced = 0.0
+    # Untimed warm-up (see the sequential section).  Coherent ports
+    # are not ideal, so JIT blocks here delegate every memory access —
+    # shorter blocks, but still shared process-wide and worth
+    # compiling once before the clock starts.
+    run_mult(source, mode="eager", args=(6,), config=config,
+             fastpath=fastpath, jit=jit)
+    bare = traced = None
     result = None
     obs = None
     for _ in range(reps):
         result, elapsed = _timed(source, mode="eager", args=(n,),
-                                 config=config, fastpath=fastpath)
-        bare += elapsed
+                                 config=config, fastpath=fastpath, jit=jit)
+        bare = elapsed if bare is None else min(bare, elapsed)
         obs = Observation(events=True, window=4096, profile=True, txn=True)
         _, elapsed = _timed(source, mode="eager", args=(n,), config=config,
-                            fastpath=fastpath, observe=obs)
-        traced += elapsed
-    assert result.value == module.reference(n)
-    bare /= reps
-    traced /= reps
+                            fastpath=fastpath, jit=jit, observe=obs)
+        traced = elapsed if traced is None else min(traced, elapsed)
+    assert result.value == module.reference(n)   # min-of-reps: see eager
     summary = obs.txn.summary()
     hist = {kind: {"p50": h.percentile(50), "p90": h.percentile(90),
                    "p99": h.percentile(99), "count": h.count}
@@ -135,7 +158,7 @@ SECTIONS = (
 )
 
 
-def run_bench(quick=False, pool_size=1, fastpath=True):
+def run_bench(quick=False, pool_size=1, fastpath=True, jit=True):
     """Run the whole suite; returns the JSON-ready payload.
 
     ``pool_size`` > 1 fans the three sections out to worker processes
@@ -148,13 +171,17 @@ def run_bench(quick=False, pool_size=1, fastpath=True):
     ``fastpath=False`` (CLI ``--no-fastpath``) times the reference
     interpreter instead — the A/B knob for measuring what the
     translation-cache fast path is worth on the current host.
+    ``jit=False`` (CLI ``--no-jit``) keeps the fast path but disables
+    the superblock JIT tier — the A/B knob for the generated-code
+    tier alone (see :mod:`repro.core.jit`).
     """
     start = time.perf_counter()
     if pool_size > 1:
         from repro.exp.job import CallJob
         from repro.exp.runner import run_jobs
         jobs = [CallJob(("bench", name), __name__, func,
-                        kwargs={"quick": quick, "fastpath": fastpath})
+                        kwargs={"quick": quick, "fastpath": fastpath,
+                                "jit": jit})
                 for name, func in SECTIONS]
         sweep = run_jobs(jobs, pool_size=pool_size)
         for outcome in sweep.failures:
@@ -165,14 +192,16 @@ def run_bench(quick=False, pool_size=1, fastpath=True):
         sequential, eager, coherent = (
             by_key[("bench", name)].value for name, _ in SECTIONS)
     else:
-        sequential = _sequential_throughput(quick, fastpath=fastpath)
-        eager = _eager_overhead(quick, fastpath=fastpath)
-        coherent = _coherent_traced(quick, fastpath=fastpath)
+        sequential = _sequential_throughput(quick, fastpath=fastpath,
+                                            jit=jit)
+        eager = _eager_overhead(quick, fastpath=fastpath, jit=jit)
+        coherent = _coherent_traced(quick, fastpath=fastpath, jit=jit)
     return {
         "schema": "april-bench/1",
         "suite": "simulator",
         "quick": quick,
         "fastpath": fastpath,
+        "jit": jit,
         "wall_time_s": round(time.perf_counter() - start, 2),
         "cycles_per_sec": eager["cycles_per_sec"],
         "instr_per_sec": sequential["instr_per_sec"],
@@ -216,9 +245,9 @@ def check_baseline(payload, spec, tolerance=TOLERANCE):
         return (["cannot read baseline %s: %s" % (path, exc)], [])
     problems, notes = [], []
     comparable = True
-    for knob in ("quick", "fastpath"):
-        ours = bool(payload.get(knob, knob == "fastpath"))
-        theirs = bool(baseline.get(knob, knob == "fastpath"))
+    for knob in ("quick", "fastpath", "jit"):
+        ours = bool(payload.get(knob, knob in ("fastpath", "jit")))
+        theirs = bool(baseline.get(knob, knob in ("fastpath", "jit")))
         if ours != theirs:
             comparable = False
             notes.append(

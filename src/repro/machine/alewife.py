@@ -23,7 +23,7 @@ from repro.isa.encoding import DecodeCache
 from repro.machine.config import MachineConfig
 from repro.machine.stats import MachineStats
 from repro.mem.ideal import IdealMemoryPort
-from repro.mem.memory import Memory
+from repro.mem.memory import CodeWatch, Memory
 from repro.runtime.rts import RuntimeSystem
 
 
@@ -52,9 +52,22 @@ class AlewifeMachine:
     differential lockstep harness.  It is deliberately a constructor
     argument and *not* a :class:`MachineConfig` knob, so experiment
     cache fingerprints are unaffected.
+
+    ``jit`` gates the third interpreter tier (:mod:`repro.core.jit`):
+    hot superblocks compiled to generated Python functions.  ``False``
+    (CLI ``--no-jit``) caps the fast path at the PR 5 closure tier —
+    the A/B knob for pricing what the generated code is worth.  Same
+    contract as ``fastpath``: a constructor argument, not a config
+    knob, and architecturally invisible (the lockstep harness pins all
+    tiers cycle-identical).
+
+    Whatever the tier, every store into a translated pc range
+    invalidates the covering cached translations through a shared
+    :class:`~repro.mem.memory.CodeWatch`, so self-modifying code stays
+    correct on all paths.
     """
 
-    def __init__(self, program, config=None, fastpath=True):
+    def __init__(self, program, config=None, fastpath=True, jit=True):
         self.config = config or MachineConfig()
         self.program = program
         self.memory = Memory(self.config.memory_words)
@@ -76,6 +89,12 @@ class AlewifeMachine:
 
         self.cpus = []
         self._build_memory_system(decoder)
+        self.jit = jit
+        watch = CodeWatch()
+        self.memory.code_watch = watch
+        for cpu in self.cpus:
+            cpu.jit_enabled = jit
+            cpu.attach_code_watch(watch)
         if not fastpath:
             for cpu in self.cpus:
                 cpu.use_reference_interpreter()
@@ -534,9 +553,9 @@ class MachineStepper:
 
 
 def run_program(program, config=None, entry="main", args=(),
-                max_cycles=200_000_000, fastpath=True):
+                max_cycles=200_000_000, fastpath=True, jit=True):
     """Build a machine, run a program, return the :class:`MachineResult`."""
-    machine = AlewifeMachine(program, config, fastpath=fastpath)
+    machine = AlewifeMachine(program, config, fastpath=fastpath, jit=jit)
     return machine.run(entry=entry, args=args, max_cycles=max_cycles)
 
 
@@ -587,10 +606,13 @@ def execute_payload(payload):
         config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
 
     observation = for_job(config)
-    # Absent key defaults True so pre-existing payload hashes (and the
-    # content-addressed result cache) are unchanged by this knob.
+    # Absent keys default True so pre-existing payload hashes (and the
+    # content-addressed result cache) are unchanged by these knobs —
+    # legitimate because every tier is lockstep-identical in cycles
+    # and results; the knobs only change host wall time.
     machine = AlewifeMachine(compiled.program, config,
-                             fastpath=payload.get("fastpath", True))
+                             fastpath=payload.get("fastpath", True),
+                             jit=payload.get("jit", True))
     if observation is not None:
         observation.attach(machine)
     if spans is not None:

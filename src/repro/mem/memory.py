@@ -22,6 +22,42 @@ from repro.errors import MemoryError_
 from repro.isa.tags import WORD_MASK
 
 
+class CodeWatch:
+    """Write-watch over words that processors have translated.
+
+    Self-modifying-code support for the translation-cache tiers
+    (:mod:`repro.core.execops` closures and :mod:`repro.core.jit`
+    blocks): each processor registers the word ranges it has compiled
+    via :meth:`cover`; :class:`Memory` calls :meth:`notify` from its
+    two write choke points (:meth:`Memory.sync_store`,
+    :meth:`Memory.write_word` — every store flavor, block transfer, and
+    monitor poke lands on one of them) whenever a watched word is
+    written, and every registered listener drops its stale
+    translations.  Word-granular, so data stores never false-positive;
+    the set only grows with the translated code footprint.  Purely a
+    host-level mechanism: no cycle accounting is involved, so the
+    lockstep schedules are unaffected.
+    """
+
+    __slots__ = ("words", "_listeners")
+
+    def __init__(self):
+        self.words = set()
+        self._listeners = []
+
+    def add_listener(self, callback):
+        """Register ``callback(address)`` for writes to watched words."""
+        self._listeners.append(callback)
+
+    def cover(self, start, end):
+        """Watch the byte range ``[start, end)`` (word granular)."""
+        self.words.update(range(start >> 2, (end + 3) >> 2))
+
+    def notify(self, address):
+        for callback in self._listeners:
+            callback(address)
+
+
 class Memory:
     """A bank of 32-bit words, each with a full/empty bit.
 
@@ -39,6 +75,9 @@ class Memory:
         self._words = [0] * size_words
         # full/empty bits: 1 = full (the default for ordinary data)
         self._full = bytearray(b"\x01" * size_words)
+        #: Optional :class:`CodeWatch` (the machine attaches one per
+        #: bank); None keeps both write paths check-free.
+        self.code_watch = None
 
     @property
     def limit(self):
@@ -68,6 +107,9 @@ class Memory:
     def write_word(self, address, value):
         """Write the 32-bit word at a byte address."""
         self._words[self._index(address)] = value & WORD_MASK
+        watch = self.code_watch
+        if watch is not None and (address >> 2) in watch.words:
+            watch.notify(address)
 
     # -- full/empty bits ------------------------------------------------------
 
@@ -111,12 +153,15 @@ class Memory:
             self._words[index] = value & WORD_MASK
             if flavor.set_full:
                 self._full[index] = 1
-            return was_full, None
-        if flavor.trap_on_full and was_full:
-            return was_full, TrapKind.FULL_STORE
-        self._words[index] = value & WORD_MASK
-        if flavor.set_full:
-            self._full[index] = 1
+        else:
+            if flavor.trap_on_full and was_full:
+                return was_full, TrapKind.FULL_STORE
+            self._words[index] = value & WORD_MASK
+            if flavor.set_full:
+                self._full[index] = 1
+        watch = self.code_watch
+        if watch is not None and (address >> 2) in watch.words:
+            watch.notify(address)
         return was_full, None
 
     # -- program loading --------------------------------------------------------

@@ -1,13 +1,14 @@
 """Differential lockstep harness: fast path vs. reference interpreter.
 
-Every scenario runs twice from one compile — ``fastpath=True``
-(predecoded dispatch, superblock fusion, fast event loops) against
-``fastpath=False`` (the original decode + if-chain interpreter on the
-per-instruction heapq loop) — and the two runs must agree on everything
-a program or an observer could see: the result value, the final machine
-clock, every per-CPU cycle-category counter (byte-identical
-``snapshot()`` dicts), the architectural register state, and printed
-output.
+Every scenario runs three times from one compile — the superblock
+JIT (``fastpath=True, jit=True``: generated code objects), the closure
+tier (``fastpath=True, jit=False``: predecoded dispatch and superblock
+fusion), and the reference (``fastpath=False``: the original decode +
+if-chain interpreter on the per-instruction heapq loop) — and all runs
+must agree on everything a program or an observer could see: the
+result value, the final machine clock, every per-CPU cycle-category
+counter (byte-identical ``snapshot()`` dicts), the architectural
+register state, and printed output.
 
 The fallback matrix then checks the dormant-hook contract from the
 other side: attaching any single observability hook must push the
@@ -27,10 +28,11 @@ from repro.obs.txn import TransactionTracer
 from tests.integration.test_differential import future_programs, programs
 
 
-def _build(compiled, config, fastpath):
+def _build(compiled, config, fastpath, jit=True):
     if config.lazy_futures != compiled.wants_lazy_scheduling:
         config = config.replace(lazy_futures=compiled.wants_lazy_scheduling)
-    return AlewifeMachine(compiled.program, config, fastpath=fastpath)
+    return AlewifeMachine(compiled.program, config, fastpath=fastpath,
+                          jit=jit)
 
 
 def _run_pair(source, mode, config, args):
@@ -42,6 +44,27 @@ def _run_pair(source, mode, config, args):
         result = machine.run(entry=compiled.entry_label("main"), args=args)
         pair.append((machine, result))
     return pair
+
+
+def _run_triple(source, mode, config, args):
+    """One compile, three runs: JIT, closure tier, reference."""
+    compiled = compile_source(source, mode=mode)
+    runs = []
+    for fastpath, jit in ((True, True), (True, False), (False, False)):
+        machine = _build(compiled, config, fastpath, jit=jit)
+        result = machine.run(entry=compiled.entry_label("main"), args=args)
+        runs.append((machine, result))
+    return runs
+
+
+def _assert_triple(jit, closure, reference, expect_jit_runs=True):
+    """All three tiers in lockstep; the JIT tier must have fired."""
+    _assert_lockstep(jit, reference)
+    _assert_lockstep(closure, reference)
+    jit_machine = jit[0]
+    assert all(not cpu.jit_runs for cpu in closure[0].cpus)
+    if expect_jit_runs:
+        assert any(cpu.jit_runs > 0 for cpu in jit_machine.cpus)
 
 
 def _assert_lockstep(fast, reference):
@@ -74,46 +97,46 @@ class TestBenchmarkLockstep:
 
     def test_fib_sequential(self):
         module = workloads.get("fib")
-        pair = _run_pair(module.source(), "sequential",
-                         MachineConfig(num_processors=1), (10,))
-        assert pair[0][1].value == module.reference(10)
-        _assert_lockstep(*pair)
+        runs = _run_triple(module.source(), "sequential",
+                           MachineConfig(num_processors=1), (10,))
+        assert runs[0][1].value == module.reference(10)
+        _assert_triple(*runs)
 
     def test_fib_eager_p2(self):
         module = workloads.get("fib")
-        pair = _run_pair(module.source(), "eager",
-                         MachineConfig(num_processors=2), (10,))
-        assert pair[0][1].value == module.reference(10)
-        _assert_lockstep(*pair)
+        runs = _run_triple(module.source(), "eager",
+                           MachineConfig(num_processors=2), (10,))
+        assert runs[0][1].value == module.reference(10)
+        _assert_triple(*runs)
 
     def test_fib_lazy_p2(self):
         module = workloads.get("fib")
-        pair = _run_pair(module.source(), "lazy",
-                         MachineConfig(num_processors=2), (9,))
-        assert pair[0][1].value == module.reference(9)
-        _assert_lockstep(*pair)
+        runs = _run_triple(module.source(), "lazy",
+                           MachineConfig(num_processors=2), (9,))
+        assert runs[0][1].value == module.reference(9)
+        _assert_triple(*runs)
 
     def test_fib_coherent_p4(self):
         module = workloads.get("fib")
-        pair = _run_pair(
+        runs = _run_triple(
             module.source(), "eager",
             MachineConfig(num_processors=4, memory_mode="coherent"), (9,))
-        assert pair[0][1].value == module.reference(9)
-        _assert_lockstep(*pair)
+        assert runs[0][1].value == module.reference(9)
+        _assert_triple(*runs)
 
     def test_queens_eager_p4(self):
         module = workloads.get("queens")
-        pair = _run_pair(module.source(), "eager",
-                         MachineConfig(num_processors=4), (4,))
-        assert pair[0][1].value == module.reference(4)
-        _assert_lockstep(*pair)
+        runs = _run_triple(module.source(), "eager",
+                           MachineConfig(num_processors=4), (4,))
+        assert runs[0][1].value == module.reference(4)
+        _assert_triple(*runs)
 
     def test_queens_sequential(self):
         module = workloads.get("queens")
-        pair = _run_pair(module.source(), "sequential",
-                         MachineConfig(num_processors=1), (4,))
-        assert pair[0][1].value == module.reference(4)
-        _assert_lockstep(*pair)
+        runs = _run_triple(module.source(), "sequential",
+                           MachineConfig(num_processors=1), (4,))
+        assert runs[0][1].value == module.reference(4)
+        _assert_triple(*runs)
 
     def test_fast_sequential_actually_fuses(self):
         """The fast run must exercise the superblock executor, or this
@@ -138,16 +161,18 @@ class TestRandomizedLockstep:
     @_SETTINGS
     @given(programs())
     def test_random_sequential(self, source):
-        pair = _run_pair(source, "sequential",
-                         MachineConfig(num_processors=1), (3, 4))
-        _assert_lockstep(*pair)
+        runs = _run_triple(source, "sequential",
+                           MachineConfig(num_processors=1), (3, 4))
+        # Random programs may be too short to warm the JIT tier; the
+        # lockstep assertions still hold regardless.
+        _assert_triple(*runs, expect_jit_runs=False)
 
     @_SETTINGS
     @given(future_programs())
     def test_random_futures_eager_p2(self, source):
-        pair = _run_pair(source, "eager",
-                         MachineConfig(num_processors=2), (3, 4))
-        _assert_lockstep(*pair)
+        runs = _run_triple(source, "eager",
+                           MachineConfig(num_processors=2), (3, 4))
+        _assert_triple(*runs, expect_jit_runs=False)
 
 
 # -- the fallback matrix -----------------------------------------------------
@@ -244,3 +269,43 @@ class TestFallbackMatrix:
         result = machine.run(entry=compiled.entry_label("main"), args=(9,))
         assert machine.loop_used == "reference"
         assert result.cycles == dormant.cycles
+
+
+class TestJitFallbackMatrix:
+    """The fallback matrix again, with the JIT axis explicit: a hooked
+    run (reference loop, JIT never fires) and a closure-tier run
+    (``jit=False``) must both be cycle-identical to the dormant
+    JIT-enabled fast run."""
+
+    @pytest.mark.parametrize("hook", sorted(TestFallbackMatrix.ATTACHERS))
+    def test_hooked_run_matches_dormant_jit(self, hook):
+        module = workloads.get("fib")
+        compiled = compile_source(module.source(), mode="eager")
+        config = MachineConfig(num_processors=2)
+        dormant_machine, dormant = _dormant_baseline(compiled, config, (9,))
+        assert any(cpu.jit_runs > 0 for cpu in dormant_machine.cpus)
+
+        machine = _build(compiled, config, True, jit=True)
+        TestFallbackMatrix.ATTACHERS[hook](machine)
+        result = machine.run(entry=compiled.entry_label("main"), args=(9,))
+        assert machine.loop_used == "reference"
+        assert all(not cpu.jit_runs for cpu in machine.cpus)
+        assert result.value == dormant.value
+        assert result.cycles == dormant.cycles
+        for cpu, dormant_row in zip(machine.cpus, dormant.stats.per_cpu):
+            assert cpu.stats.snapshot() == dormant_row
+
+    def test_jit_disabled_matches_dormant_jit(self):
+        module = workloads.get("fib")
+        compiled = compile_source(module.source(), mode="eager")
+        config = MachineConfig(num_processors=2)
+        _, dormant = _dormant_baseline(compiled, config, (9,))
+
+        machine = _build(compiled, config, True, jit=False)
+        result = machine.run(entry=compiled.entry_label("main"), args=(9,))
+        assert machine.loop_used in ("fast-sequential", "fast-sliced")
+        assert all(not cpu.jit_runs for cpu in machine.cpus)
+        assert result.value == dormant.value
+        assert result.cycles == dormant.cycles
+        for cpu, dormant_row in zip(machine.cpus, dormant.stats.per_cpu):
+            assert cpu.stats.snapshot() == dormant_row
